@@ -1,0 +1,77 @@
+// Command campaign runs the complete measurement workflow — auto-tune,
+// sweep, measure, fit eq. (9), build a fitted machine description — for
+// a set of platforms, and writes the fitted machine JSON files a user
+// would feed back into the model.
+//
+// Usage:
+//
+//	campaign [-config file.json] [-out dir] [-powermon] [-seed N] [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/campaign"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "JSON campaign configuration (default: built-in)")
+		outDir     = flag.String("out", "", "directory for fitted machine JSON files")
+		usePM      = flag.Bool("powermon", false, "measure through the sampled power monitor")
+		seed       = flag.Int64("seed", 42, "noise seed")
+		reps       = flag.Int("reps", 0, "override repetitions per point")
+	)
+	flag.Parse()
+
+	cfg := campaign.Default()
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(2)
+		}
+		cfg, err = campaign.ParseConfig(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(2)
+		}
+	}
+	cfg.Seed = *seed
+	cfg.UsePowerMon = cfg.UsePowerMon || *usePM
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render())
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(1)
+		}
+		for _, mr := range res.Machines {
+			data, err := mr.Fitted.ToJSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "campaign:", err)
+				os.Exit(1)
+			}
+			name := strings.ReplaceAll(mr.Key, "/", "_") + "-fitted.json"
+			path := filepath.Join(*outDir, name)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}

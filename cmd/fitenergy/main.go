@@ -1,0 +1,138 @@
+// Command fitenergy reproduces Table IV: it sweeps the intensity
+// microbenchmark over both precisions on a simulated platform, measures
+// each run with the PowerMon-2 analogue (optional), and fits the
+// paper's eq. (9) regression
+//
+//	E/W = ε_s + ε_mem·(Q/W) + π0·(T/W) + Δε_d·R
+//
+// printing the recovered coefficients next to the platform's ground
+// truth.
+//
+// Usage:
+//
+//	fitenergy [-machine gtx580|i7-950] [-reps N] [-points N] [-seed N] [-powermon]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/microbench"
+	"repro/internal/powermon"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		machineKey = flag.String("machine", "gtx580", "catalog machine: gtx580 or i7-950")
+		reps       = flag.Int("reps", 100, "repetitions per intensity (the paper uses 100)")
+		points     = flag.Int("points", 13, "intensities per precision")
+		seed       = flag.Int64("seed", 42, "noise seed")
+		useMonitor = flag.Bool("powermon", false, "measure energy via the sampled power monitor")
+		sessionDir = flag.String("session", "", "record per-point power-trace CSVs (PowerMon-2 style) into this directory")
+	)
+	flag.Parse()
+
+	m, ok := machine.Catalog()[*machineKey]
+	if !ok || *machineKey == "fermi" {
+		fmt.Fprintf(os.Stderr, "fitenergy: unknown measured machine %q (gtx580 or i7-950)\n", *machineKey)
+		os.Exit(2)
+	}
+	eng, err := sim.New(m, sim.DefaultConfig(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fitenergy:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("auto-tuning microbenchmark on %s...\n", m.Name)
+	tuning, quality, err := microbench.AutoTune(eng, machine.Single)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fitenergy:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  tuning %+v (quality %.3f)\n", tuning, quality)
+
+	var mon *powermon.Monitor
+	if *useMonitor || *sessionDir != "" {
+		chans := powermon.GPUChannels()
+		if *machineKey == "i7-950" {
+			chans = powermon.CPUChannels()
+		}
+		mon, err = powermon.New(chans, powermon.Config{Seed: *seed + 1, RateHz: 1024})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fitenergy:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Optionally record one representative power trace per intensity
+	// point into a PowerMon-2-style session directory.
+	var session *powermon.Session
+	if *sessionDir != "" {
+		session, err = powermon.NewSession(*sessionDir, mon)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fitenergy:", err)
+			os.Exit(1)
+		}
+	}
+
+	var pts []microbench.Point
+	for _, prec := range []machine.Precision{machine.Single, machine.Double} {
+		hi := 64.0
+		if prec == machine.Double {
+			hi = 16
+		}
+		p, err := microbench.Sweep(eng, prec, microbench.SweepConfig{
+			Intensities: core.LogGrid(0.25, hi, *points),
+			VolumeBytes: 1 << 28,
+			Reps:        *reps,
+			Tuning:      tuning,
+			Monitor:     mon,
+			KeepReps:    true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fitenergy:", err)
+			os.Exit(1)
+		}
+		pts = append(pts, p...)
+		fmt.Printf("  swept %v precision: %d observations\n", prec, len(p))
+	}
+
+	coef, res, err := microbench.FitEq9(pts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fitenergy:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nTable IV reproduction for %s (%d observations):\n", m.Name, len(pts))
+	fmt.Printf("%-14s %14s %14s\n", "coefficient", "fitted", "ground truth")
+	fmt.Printf("%-14s %13.1f  %13.1f\n", "εs (pJ/flop)", coef.EpsSingle*1e12, float64(m.SP.EnergyPerFlop)*1e12)
+	fmt.Printf("%-14s %13.1f  %13.1f\n", "εd (pJ/flop)", coef.EpsDouble*1e12, float64(m.DP.EnergyPerFlop)*1e12)
+	fmt.Printf("%-14s %13.1f  %13.1f\n", "εmem (pJ/B)", coef.EpsMem*1e12, float64(m.EnergyPerByte)*1e12)
+	fmt.Printf("%-14s %13.1f  %13.1f\n", "π0 (W)", coef.Pi0, float64(m.ConstantPower))
+	fmt.Printf("R² = %.8f, max p-value = %.3g, residual dof = %d\n", coef.R2, coef.MaxPValue, res.DOF)
+
+	if session != nil {
+		for _, prec := range []machine.Precision{machine.Single, machine.Double} {
+			for _, i := range core.LogGrid(0.25, 16, 7) {
+				k := core.KernelAt(2e9, i)
+				run, err := eng.Run(sim.KernelSpec{W: k.W, Q: k.Q, Precision: prec, Tuning: tuning})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "fitenergy:", err)
+					os.Exit(1)
+				}
+				label := fmt.Sprintf("%v-I%.3g", prec, i)
+				if _, err := session.Record(label, run, run.Duration); err != nil {
+					fmt.Fprintln(os.Stderr, "fitenergy:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if err := session.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fitenergy:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded power-trace session in %s\n", *sessionDir)
+	}
+}

@@ -1,0 +1,303 @@
+package energyroofline
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one command into dir and returns the binary path.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = mustModuleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func mustModuleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func runBin(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestExperimentsBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "experiments")
+
+	// -list names every canonical experiment.
+	list := runBin(t, bin, "-list")
+	for _, id := range []string{"tableII", "fig4a", "fmmu", "racetohalt", "dvfs", "algs"} {
+		if !strings.Contains(list, id) {
+			t.Errorf("-list missing %q", id)
+		}
+	}
+
+	// A model-only experiment runs and declares success.
+	out := runBin(t, bin, "-run", "tableII,fig2b", "-fast")
+	if !strings.Contains(out, "all tolerance-checked comparisons matched the paper") {
+		t.Errorf("success line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Bτ (flop/byte)") {
+		t.Error("tableII comparisons missing")
+	}
+
+	// Unknown IDs are rejected with a usable message.
+	cmd := exec.Command(bin, "-run", "nonsense")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("unknown experiment accepted:\n%s", out)
+	} else if !strings.Contains(string(out), "unknown experiment") {
+		t.Errorf("unhelpful error: %s", out)
+	}
+
+	// SVG emission.
+	svgDir := filepath.Join(dir, "figs")
+	runBin(t, bin, "-run", "fig2a", "-svg", svgDir)
+	if _, err := os.Stat(filepath.Join(svgDir, "fig2a.svg")); err != nil {
+		t.Errorf("fig2a.svg not written: %v", err)
+	}
+
+	// JSON artifact + parallel mode together.
+	jsonPath := filepath.Join(dir, "cmp.json")
+	runBin(t, bin, "-run", "tableII,fig2b,racetohalt", "-fast", "-parallel", "3", "-json", jsonPath)
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id": "tableII"`, `"deviations": 0`, `"ok": true`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON artifact missing %q", want)
+		}
+	}
+}
+
+func TestRooflineBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "roofline")
+
+	out := runBin(t, bin, "-machine", "gtx580", "-prec", "double")
+	for _, want := range []string{"NVIDIA GTX 580", "Bτ = 1.03", "race-to-halt effective: true", "GFLOP/J"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Detailed single-intensity analysis, in the capped region.
+	out = runBin(t, bin, "-machine", "gtx580", "-prec", "single", "-intensity", "8")
+	for _, want := range []string{"compute-bound", "average power", "power cap", "ACTIVE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analysis missing %q:\n%s", want, out)
+		}
+	}
+
+	// Chart mode.
+	out = runBin(t, bin, "-machine", "fermi", "-chart")
+	if !strings.Contains(out, "arch line (energy)") {
+		t.Error("chart legend missing")
+	}
+
+	// Compare mode.
+	out = runBin(t, bin, "-compare")
+	for _, want := range []string{"catalog comparison", "gtx580", "future", "greenest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q", want)
+		}
+	}
+
+	// Chart file emission.
+	svgPath := filepath.Join(dir, "chart.svg")
+	pngPath := filepath.Join(dir, "chart.png")
+	runBin(t, bin, "-machine", "fermi", "-svgfile", svgPath, "-pngfile", pngPath)
+	if data, err := os.ReadFile(svgPath); err != nil || !strings.Contains(string(data), "<svg") {
+		t.Errorf("svg file bad: %v", err)
+	}
+	if data, err := os.ReadFile(pngPath); err != nil || len(data) < 8 || string(data[1:4]) != "PNG" {
+		t.Errorf("png file bad: %v", err)
+	}
+
+	// JSON round trip: dump a machine, load it back.
+	m := GTX580()
+	data, err := m.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runBin(t, bin, "-json", path)
+	if !strings.Contains(out, "NVIDIA GTX 580") {
+		t.Error("JSON-loaded machine not used")
+	}
+
+	// Bad flags exit non-zero.
+	if out, err := exec.Command(bin, "-machine", "cray1").CombinedOutput(); err == nil {
+		t.Errorf("unknown machine accepted:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-prec", "half").CombinedOutput(); err == nil {
+		t.Errorf("unknown precision accepted:\n%s", out)
+	}
+}
+
+func TestFitenergyBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "fitenergy")
+	out := runBin(t, bin, "-machine", "i7-950", "-reps", "10", "-points", "9")
+	for _, want := range []string{"Table IV reproduction", "εs (pJ/flop)", "ground truth", "R²"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The fitted εmem should print near 795 — check the ground-truth
+	// column rendered the right value.
+	if !strings.Contains(out, "795.0") {
+		t.Errorf("ground truth column wrong:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-machine", "fermi").CombinedOutput(); err == nil {
+		t.Errorf("fermi (unmeasured) accepted:\n%s", out)
+	}
+
+	// Session recording: traces land on disk with a manifest.
+	sessDir := filepath.Join(dir, "session")
+	out = runBin(t, bin, "-machine", "gtx580", "-reps", "5", "-points", "7", "-session", sessDir)
+	if !strings.Contains(out, "recorded power-trace session") {
+		t.Errorf("session line missing:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(sessDir, "manifest.json")); err != nil {
+		t.Errorf("manifest missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(sessDir, "run-000.csv")); err != nil {
+		t.Errorf("trace CSV missing: %v", err)
+	}
+}
+
+func TestFmmuBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	bin := buildCmd(t, t.TempDir(), "fmmu")
+	out := runBin(t, bin, "-n", "1024", "-leaf", "128", "-cacheonly", "-top", "3")
+	for _, want := range []string{"FMM U-list study", "187", "median relative error", "variant"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCyclesimBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	bin := buildCmd(t, t.TempDir(), "cyclesim")
+	out := runBin(t, bin, "-core", "fermi", "-fmas", "32", "-sweep")
+	for _, want := range []string{"rooflines", "latency", "issue", "window"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	out = runBin(t, bin, "-core", "nehalem", "-fmas", "1", "-loads", "8", "-prec", "double")
+	if !strings.Contains(out, "bandwidth-bound") {
+		t.Errorf("load-heavy DP kernel should be bandwidth-bound:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-core", "cray").CombinedOutput(); err == nil {
+		t.Errorf("unknown core accepted:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-prec", "half").CombinedOutput(); err == nil {
+		t.Errorf("unknown precision accepted:\n%s", out)
+	}
+}
+
+func TestCampaignBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "campaign")
+
+	// Custom config + fitted-machine output, small sizes.
+	cfgPath := filepath.Join(dir, "cfg.json")
+	cfg := `{"machines":["gtx580"],"lo_intensity":0.25,"hi_intensity":16,
+		"points":7,"reps":10,"volume_bytes":67108864,"seed":5}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "out")
+	out := runBin(t, bin, "-config", cfgPath, "-out", outDir)
+	for _, want := range []string{"NVIDIA GTX 580", "εmem", "race-to-halt", "wrote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The fitted machine JSON loads back through the roofline tool.
+	fitted := filepath.Join(outDir, "gtx580-fitted.json")
+	if _, err := os.Stat(fitted); err != nil {
+		t.Fatal(err)
+	}
+	roofBin := buildCmd(t, dir, "roofline")
+	out = runBin(t, roofBin, "-json", fitted)
+	if !strings.Contains(out, "(fitted)") {
+		t.Errorf("fitted machine not loadable:\n%s", out)
+	}
+
+	// Bad config rejected.
+	if err := os.WriteFile(cfgPath, []byte(`{"machines":["nope"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "-config", cfgPath).CombinedOutput(); err == nil {
+		t.Errorf("bad config accepted:\n%s", out)
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e runs examples")
+	}
+	root := mustModuleRoot(t)
+	examples, err := filepath.Glob(filepath.Join(root, "examples", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(examples) < 3 {
+		t.Fatalf("only %d examples found", len(examples))
+	}
+	for _, dir := range examples {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+filepath.Base(dir))
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if len(out) < 100 {
+				t.Errorf("example output suspiciously short:\n%s", out)
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+// Greenup explorer: the paper's §VII work–communication trade-off
+// analysis. An algorithm redesign that does f× more flops but m× less
+// memory traffic is a "greenup" (energy win) only under eq. (10):
+//
+//	f < 1 + (m−1)/m · Bε/I.
+//
+// This example maps the (f, m) plane for three baselines on the
+// Table II Fermi (π0 = 0, the regime the paper analyses) and shows the
+// four-way speedup/greenup classification.
+package main
+
+import (
+	"fmt"
+
+	roofline "repro"
+)
+
+func main() {
+	p := roofline.FromMachine(roofline.FermiTableII(), roofline.Double)
+	fmt.Printf("machine: Fermi (Table II), Bτ = %.2f, Bε = %.2f flop/byte, π0 = 0\n\n",
+		p.BalanceTime(), p.BalanceEnergy())
+
+	for _, baseI := range []float64{1, 3.6, 16} {
+		k := roofline.KernelAt(1e9, baseI)
+		fmt.Printf("baseline intensity I = %.3g flop/byte (%v in time, %v in energy)\n",
+			baseI, p.TimeBound(k), p.EnergyBound(k))
+		fmt.Printf("  extra-work budget: f < %.3g as m→∞ (eq. 10 hard limit)\n", p.MaxExtraWork(baseI))
+		fmt.Printf("  %-8s", "f \\ m")
+		ms := []float64{1.5, 2, 4, 16, 1024}
+		for _, m := range ms {
+			fmt.Printf(" %12.4g", m)
+		}
+		fmt.Println()
+		for _, f := range []float64{1.1, 1.5, 2, 4, 8, 16} {
+			fmt.Printf("  %-8.3g", f)
+			for _, m := range ms {
+				out := p.Classify(k, roofline.Tradeoff{F: f, M: m})
+				fmt.Printf(" %12s", shorten(out))
+			}
+			fmt.Println()
+		}
+		// Verify eq. (10) against the exact model along one slice.
+		m := 4.0
+		fstar := p.GreenupConditionRHS(baseI, m)
+		fmt.Printf("  eq.(10) boundary at m=4: f* = %.4g; exact greenup there = %.6f (should be 1)\n\n",
+			fstar, p.Greenup(k, roofline.Tradeoff{F: fstar, M: m}))
+	}
+
+	fmt.Println("legend: both = speedup+greenup, green = greenup only, speed = speedup only, — = neither")
+	fmt.Println("\ncompute-bound corollary (§VII): once I ≥ Bτ, any useful trade-off obeys")
+	fmt.Printf("f < 1 + Bε/Bτ = %.3g on this machine.\n", p.MaxExtraWorkComputeBound())
+}
+
+func shorten(o roofline.TradeoffOutcome) string {
+	switch o {
+	case roofline.Both:
+		return "both"
+	case roofline.GreenupOnly:
+		return "green"
+	case roofline.SpeedupOnly:
+		return "speed"
+	default:
+		return "—"
+	}
+}

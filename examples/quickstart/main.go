@@ -1,0 +1,49 @@
+// Quickstart: instantiate the energy-roofline model for a platform and
+// ask the questions the paper's model answers — how fast, how much
+// energy, how much power, and which resource binds.
+package main
+
+import (
+	"fmt"
+
+	roofline "repro"
+)
+
+func main() {
+	// A GTX 580 running double precision (Tables III and IV).
+	m := roofline.GTX580()
+	p := roofline.FromMachine(m, roofline.Double)
+
+	fmt.Printf("platform: %s\n", m.Name)
+	fmt.Printf("  time balance Bτ   = %.2f flop/byte\n", p.BalanceTime())
+	fmt.Printf("  energy balance Bε = %.2f flop/byte\n", p.BalanceEnergy())
+	fmt.Printf("  balance gap       = %.2f\n", p.BalanceGap())
+	fmt.Printf("  effective B̂ε(y=½) = %.2f flop/byte (constant power folded in)\n\n",
+		p.HalfEfficiencyIntensity())
+
+	// Three kernels: a streaming reduction (I ≈ 1/8), a stencil
+	// (I ≈ 1), and a blocked matrix multiply (I ≈ 32).
+	kernels := []struct {
+		name string
+		i    float64
+	}{
+		{"array reduction", 0.125},
+		{"7-point stencil", 1},
+		{"blocked DGEMM", 32},
+	}
+	const gflop = 1e9
+	fmt.Printf("%-18s %12s %12s %12s %12s %16s\n",
+		"kernel", "I (fl/B)", "time", "energy", "power (W)", "bound (time/energy)")
+	for _, kn := range kernels {
+		k := roofline.KernelAt(gflop, kn.i)
+		fmt.Printf("%-18s %12.3g %12.3gs %12.3gJ %12.3g %9v / %v\n",
+			kn.name, kn.i, p.Time(k), p.Energy(k), p.AveragePower(k),
+			p.TimeBound(k), p.EnergyBound(k))
+	}
+
+	// The paper's race-to-halt question: is finishing fast always the
+	// energy-optimal strategy on this machine?
+	fmt.Printf("\nrace-to-halt effective on this platform: %v\n", p.RaceToHaltEffective())
+	fmt.Println("  (B̂ε at half efficiency sits below Bτ: any kernel compute-bound in time")
+	fmt.Println("   is already within 2× of optimal energy efficiency — §V-B)")
+}

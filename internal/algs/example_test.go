@@ -1,0 +1,32 @@
+package algs_test
+
+import (
+	"fmt"
+
+	"repro/internal/algs"
+	"repro/internal/machine"
+)
+
+// §II-A in two lines: matmul's intensity responds to fast-memory
+// capacity, a reduction's does not.
+func ExampleIntensityGrowth() {
+	mm, _ := algs.IntensityGrowth(algs.MatMul{}, 1e5, 1<<16)
+	red, _ := algs.IntensityGrowth(algs.Reduction{}, 1e7, 1<<16)
+	fmt.Printf("matmul:    ×%.3f per Z doubling (√2 ≈ 1.414)\n", mm)
+	fmt.Printf("reduction: ×%.3f per Z doubling\n", red)
+	// Output:
+	// matmul:    ×1.413 per Z doubling (√2 ≈ 1.414)
+	// reduction: ×1.000 per Z doubling
+}
+
+// Evaluate an algorithm against a platform: the model's verdict on
+// where the bottleneck lies.
+func ExampleEvaluate() {
+	v, err := algs.Evaluate(algs.FMMU{}, 1e6, machine.GTX580(), machine.Single)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %v in time, %v in energy\n", v.Algorithm, v.TimeBound, v.EnergyBound)
+	// Output:
+	// fmm-u: compute-bound in time, compute-bound in energy
+}

@@ -1,0 +1,200 @@
+package algs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+)
+
+// This file closes the loop between the analytic Q(n; Z) models and an
+// actual memory system: it generates the real access streams of three
+// §II-A-style kernels — a streaming reduction, a blocked matrix
+// multiply, and a 3-D stencil sweep — replays them through the cache
+// simulator, and lets tests confirm that the analytic traffic formulas
+// track the simulated DRAM traffic.
+
+// TraceResult compares an analytic traffic model against simulated DRAM
+// traffic for one kernel instance.
+type TraceResult struct {
+	// Algorithm names the traced kernel.
+	Algorithm string
+	// N is the instance size (elements or matrix dimension).
+	N int
+	// ZWords is the simulated cache capacity in words.
+	ZWords float64
+	// ModelBytes is the analytic Q(n, Z) in bytes.
+	ModelBytes float64
+	// SimulatedBytes is the cache simulator's DRAM traffic in bytes.
+	SimulatedBytes float64
+}
+
+// Ratio returns simulated over modelled traffic.
+func (r TraceResult) Ratio() float64 { return r.SimulatedBytes / r.ModelBytes }
+
+// wordSize is the traced kernels' element size (double precision).
+const wordSize = 8
+
+// traceCache builds a hierarchy of one level with the given capacity in
+// words, 64-byte lines, 8-way associativity.
+func traceCache(zWords int) (*cache.Hierarchy, error) {
+	size := int64(zWords * wordSize)
+	const line = 64
+	// Round capacity to a legal geometry.
+	lines := size / line
+	if lines < 8 {
+		lines = 8
+	}
+	lines = lines / 8 * 8
+	return cache.New([]machine.CacheLevel{{
+		Name: "L", Size: lines * line, LineSize: line, Assoc: 8,
+	}})
+}
+
+// TraceReduction replays a streaming sum of n doubles and compares the
+// DRAM traffic against Reduction's model (n words).
+func TraceReduction(n, zWords int) (TraceResult, error) {
+	if n < 1 || zWords < 64 {
+		return TraceResult{}, errors.New("algs: n must be >= 1 and zWords >= 64")
+	}
+	h, err := traceCache(zWords)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	const base = 0
+	for i := 0; i < n; i++ {
+		h.Read(base+uint64(i)*wordSize, wordSize)
+	}
+	model := Reduction{}.Traffic(float64(n), float64(zWords)) * wordSize
+	return TraceResult{
+		Algorithm:      "reduction",
+		N:              n,
+		ZWords:         float64(zWords),
+		ModelBytes:     model,
+		SimulatedBytes: float64(h.DRAMBytes()),
+	}, nil
+}
+
+// TraceMatMul replays a b-blocked n×n matrix multiply's access stream
+// (block size chosen from Z as the analytic model assumes) and compares
+// DRAM traffic against MatMul's Q(n, Z).
+//
+// The replay walks the standard blocked loop nest: for each block pair,
+// the C block is register-resident, the A and B blocks are read element
+// by element in the k-loop. The stream is generated at element
+// granularity so the cache simulator sees genuine spatial and temporal
+// locality rather than summary counts.
+func TraceMatMul(n, zWords int) (TraceResult, error) {
+	if n < 4 || zWords < 192 {
+		return TraceResult{}, errors.New("algs: n must be >= 4 and zWords >= 192")
+	}
+	b := int(math.Sqrt(float64(zWords) / 3))
+	if b > n {
+		b = n
+	}
+	if b < 1 {
+		b = 1
+	}
+	h, err := traceCache(zWords)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	const (
+		baseA = 0
+		baseB = 1 << 34
+		baseC = 2 << 34
+	)
+	idx := func(base uint64, row, col int) uint64 {
+		return base + (uint64(row)*uint64(n)+uint64(col))*wordSize
+	}
+	nb := (n + b - 1) / b
+	for bi := 0; bi < nb; bi++ {
+		for bj := 0; bj < nb; bj++ {
+			for bk := 0; bk < nb; bk++ {
+				i1 := min(n, (bi+1)*b)
+				j1 := min(n, (bj+1)*b)
+				k1 := min(n, (bk+1)*b)
+				for i := bi * b; i < i1; i++ {
+					for k := bk * b; k < k1; k++ {
+						h.Read(idx(baseA, i, k), wordSize)
+						for j := bj * b; j < j1; j++ {
+							h.Read(idx(baseB, k, j), wordSize)
+						}
+					}
+				}
+				// C block touched once per (bi, bj, bk): read+write.
+				for i := bi * b; i < i1; i++ {
+					for j := bj * b; j < j1; j++ {
+						h.Read(idx(baseC, i, j), wordSize)
+						h.Write(idx(baseC, i, j), wordSize)
+					}
+				}
+			}
+		}
+	}
+	model := MatMul{}.Traffic(float64(n), float64(zWords)) * wordSize
+	return TraceResult{
+		Algorithm:      "matmul",
+		N:              n,
+		ZWords:         float64(zWords),
+		ModelBytes:     model,
+		SimulatedBytes: float64(h.DRAMBytes()),
+	}, nil
+}
+
+// TraceStencil replays one 7-point stencil sweep over an n³ grid (read
+// the six neighbours and the centre, write the result to a second grid)
+// and compares against Stencil's model.
+func TraceStencil(n, zWords int) (TraceResult, error) {
+	if n < 3 || zWords < 64 {
+		return TraceResult{}, errors.New("algs: n must be >= 3 and zWords >= 64")
+	}
+	h, err := traceCache(zWords)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	const (
+		baseIn  = 0
+		baseOut = 1 << 34
+	)
+	idx := func(base uint64, x, y, z int) uint64 {
+		return base + ((uint64(z)*uint64(n)+uint64(y))*uint64(n)+uint64(x))*wordSize
+	}
+	for z := 1; z < n-1; z++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				h.Read(idx(baseIn, x, y, z), wordSize)
+				h.Read(idx(baseIn, x-1, y, z), wordSize)
+				h.Read(idx(baseIn, x+1, y, z), wordSize)
+				h.Read(idx(baseIn, x, y-1, z), wordSize)
+				h.Read(idx(baseIn, x, y+1, z), wordSize)
+				h.Read(idx(baseIn, x, y, z-1), wordSize)
+				h.Read(idx(baseIn, x, y, z+1), wordSize)
+				h.Write(idx(baseOut, x, y, z), wordSize)
+			}
+		}
+	}
+	model := Stencil{}.Traffic(float64(n), float64(zWords)) * wordSize
+	return TraceResult{
+		Algorithm:      "stencil7",
+		N:              n,
+		ZWords:         float64(zWords),
+		ModelBytes:     model,
+		SimulatedBytes: float64(h.DRAMBytes()),
+	}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// String renders the comparison.
+func (r TraceResult) String() string {
+	return fmt.Sprintf("%s n=%d Z=%g words: model %.3g B, simulated %.3g B (×%.2f)",
+		r.Algorithm, r.N, r.ZWords, r.ModelBytes, r.SimulatedBytes, r.Ratio())
+}

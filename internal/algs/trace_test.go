@@ -1,0 +1,141 @@
+package algs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceReductionExact(t *testing.T) {
+	// Streaming n doubles: the model (n words) matches the simulator
+	// exactly — every line is fetched once, no reuse, no write-backs.
+	r, err := TraceReduction(1<<18, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio() < 0.999 || r.Ratio() > 1.001 {
+		t.Errorf("reduction ratio = %v, want 1.0: %v", r.Ratio(), r)
+	}
+}
+
+func TestTraceReductionIndependentOfZ(t *testing.T) {
+	small, err := TraceReduction(1<<16, 1<<9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := TraceReduction(1<<16, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.SimulatedBytes != big.SimulatedBytes {
+		t.Errorf("reduction traffic changed with Z: %v vs %v — §II-A says it must not",
+			small.SimulatedBytes, big.SimulatedBytes)
+	}
+}
+
+func TestTraceMatMulTracksModel(t *testing.T) {
+	// Non-power-of-two dimension avoids set-conflict pathologies, so the
+	// simulated traffic stays within a small factor of the ideal-cache
+	// analytic Q = 2n³/b + 2n².
+	r, err := TraceMatMul(200, 3*50*50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio() < 0.8 || r.Ratio() > 2.2 {
+		t.Errorf("matmul ratio out of band: %v", r)
+	}
+}
+
+func TestTraceMatMulBlockedBeatsUnblockedFootprint(t *testing.T) {
+	// The whole point of blocking: simulated traffic is far below the
+	// unblocked 2n³ upper bound.
+	n := 200
+	r, err := TraceMatMul(n, 3*50*50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := 2 * float64(n) * float64(n) * float64(n) * wordSize
+	if r.SimulatedBytes > naive/4 {
+		t.Errorf("blocked traffic %v not far below naive %v", r.SimulatedBytes, naive)
+	}
+}
+
+func TestTraceMatMulPowerOfTwoConflictPathology(t *testing.T) {
+	// A documented divergence between the ideal-cache model and a real
+	// set-associative cache: with a power-of-two leading dimension, the
+	// rows of a block alias into few sets and conflict misses blow the
+	// traffic up by an order of magnitude. The analytic model cannot see
+	// this — which is precisely why it is a bound, not a prediction.
+	bad, err := TraceMatMul(256, 3*64*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := TraceMatMul(250, 3*64*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Ratio() < 5 {
+		t.Errorf("expected severe conflict misses at n=256: %v", bad)
+	}
+	if good.Ratio() > 3 {
+		t.Errorf("n=250 should avoid the pathology: %v", good)
+	}
+}
+
+func TestTraceStencilBothRegimes(t *testing.T) {
+	// Planes fit: the model's 2n³ compulsory traffic is tracked closely.
+	fit, err := TraceStencil(48, 4*48*48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Ratio() < 0.8 || fit.Ratio() > 2.0 {
+		t.Errorf("stencil (planes fit) ratio out of band: %v", fit)
+	}
+	// Planes do not fit: the model's degraded 8n³ form is a pessimistic
+	// upper bound; the simulator lands below it but above the ideal 2n³.
+	tight, err := TraceStencil(48, 48*48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Ratio() > 1.05 {
+		t.Errorf("degraded stencil model should over-predict: %v", tight)
+	}
+	ideal := 2.0 * 48 * 48 * 48 * wordSize
+	if tight.SimulatedBytes < ideal {
+		t.Errorf("thrashing stencil cannot beat compulsory traffic: %v < %v", tight.SimulatedBytes, ideal)
+	}
+	// And more cache means less simulated traffic.
+	if fit.SimulatedBytes >= tight.SimulatedBytes {
+		t.Error("larger Z should reduce stencil traffic")
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, err := TraceReduction(0, 1024); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := TraceReduction(10, 1); err == nil {
+		t.Error("tiny Z accepted")
+	}
+	if _, err := TraceMatMul(2, 1024); err == nil {
+		t.Error("tiny n accepted")
+	}
+	if _, err := TraceMatMul(100, 8); err == nil {
+		t.Error("tiny Z accepted")
+	}
+	if _, err := TraceStencil(2, 1024); err == nil {
+		t.Error("tiny n accepted")
+	}
+	if _, err := TraceStencil(10, 8); err == nil {
+		t.Error("tiny Z accepted")
+	}
+}
+
+func TestTraceResultString(t *testing.T) {
+	r := TraceResult{Algorithm: "x", N: 10, ZWords: 64, ModelBytes: 100, SimulatedBytes: 150}
+	s := r.String()
+	for _, want := range []string{"x", "n=10", "×1.50"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
+	}
+}

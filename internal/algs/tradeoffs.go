@@ -1,0 +1,143 @@
+package algs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// §VII motivates the greenup analysis with "an interesting class of
+// algorithms ... exhibiting a work-communication trade-off". This file
+// catalogues three standard members of that class, each parameterised
+// by its natural knob, mapped into the paper's (f, m) coordinates so
+// eq. (10) and the model's exact classification apply directly.
+
+// NamedTradeoff is one algorithmic transformation with a tunable knob.
+type NamedTradeoff struct {
+	// Name identifies the transformation.
+	Name string
+	// Knob describes the parameter's meaning.
+	Knob string
+	// Transform maps the knob value to the paper's (f, m) pair.
+	Transform func(knob float64) (core.Tradeoff, error)
+}
+
+// TimeTiling is temporal blocking of an iterative stencil: fusing t
+// time steps divides slow-memory traffic by ≈t while the overlapping
+// halos force a fraction α of redundant recomputation per fused step.
+// (α ≈ tile-surface/volume; 0.04 is a typical 3-D figure.)
+func TimeTiling(alpha float64) NamedTradeoff {
+	return NamedTradeoff{
+		Name: "stencil time-tiling",
+		Knob: "fused time steps t",
+		Transform: func(t float64) (core.Tradeoff, error) {
+			if t < 1 {
+				return core.Tradeoff{}, errors.New("algs: fused steps must be >= 1")
+			}
+			return core.Tradeoff{F: 1 + alpha*(t-1), M: t}, nil
+		},
+	}
+}
+
+// Replication25D is communication-avoiding (2.5D) matrix multiply:
+// c-fold data replication divides traffic by √c at no extra flops.
+func Replication25D() NamedTradeoff {
+	return NamedTradeoff{
+		Name: "2.5D matmul replication",
+		Knob: "replication factor c",
+		Transform: func(c float64) (core.Tradeoff, error) {
+			if c < 1 {
+				return core.Tradeoff{}, errors.New("algs: replication must be >= 1")
+			}
+			return core.Tradeoff{F: 1, M: sqrt(c)}, nil
+		},
+	}
+}
+
+// Recomputation trades stored intermediates for recomputed ones
+// (checkpointing style): storing every k-th intermediate divides the
+// traffic by k but recomputes each dropped value once, roughly
+// doubling the work of the dropped fraction.
+func Recomputation() NamedTradeoff {
+	return NamedTradeoff{
+		Name: "recompute-over-store",
+		Knob: "checkpoint stride k",
+		Transform: func(k float64) (core.Tradeoff, error) {
+			if k < 1 {
+				return core.Tradeoff{}, errors.New("algs: stride must be >= 1")
+			}
+			return core.Tradeoff{F: 2 - 1/k, M: k}, nil
+		},
+	}
+}
+
+func sqrt(x float64) float64 {
+	// Newton, to avoid importing math just for this.
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 40; i++ {
+		g = (g + x/g) / 2
+	}
+	return g
+}
+
+// TradeoffCatalog returns the built-in transformations.
+func TradeoffCatalog() []NamedTradeoff {
+	return []NamedTradeoff{TimeTiling(0.04), Replication25D(), Recomputation()}
+}
+
+// SweepOutcome records one knob setting's verdict.
+type SweepOutcome struct {
+	// Knob is the transformation parameter value.
+	Knob float64
+	// F and M are the resulting (f, m) coordinates.
+	F, M float64
+	// Speedup is the exact ΔT.
+	Speedup float64
+	// Greenup is the exact ΔE.
+	Greenup float64
+	// Outcome is the four-way classification.
+	Outcome core.TradeoffOutcome
+}
+
+// SweepTradeoff classifies a transformation across knob values for a
+// baseline kernel on machine parameters p.
+func SweepTradeoff(p core.Params, base core.Kernel, tr NamedTradeoff, knobs []float64) ([]SweepOutcome, error) {
+	if len(knobs) == 0 {
+		return nil, errors.New("algs: no knob values")
+	}
+	out := make([]SweepOutcome, 0, len(knobs))
+	for _, k := range knobs {
+		t, err := tr.Transform(k)
+		if err != nil {
+			return nil, fmt.Errorf("%s at %v: %w", tr.Name, k, err)
+		}
+		out = append(out, SweepOutcome{
+			Knob:    k,
+			F:       t.F,
+			M:       t.M,
+			Speedup: p.Speedup(base, t),
+			Greenup: p.Greenup(base, t),
+			Outcome: p.Classify(base, t),
+		})
+	}
+	return out, nil
+}
+
+// BestKnob returns the knob value minimising energy (maximum greenup).
+func BestKnob(p core.Params, base core.Kernel, tr NamedTradeoff, knobs []float64) (float64, error) {
+	sweep, err := SweepTradeoff(p, base, tr, knobs)
+	if err != nil {
+		return 0, err
+	}
+	best := sweep[0]
+	for _, s := range sweep[1:] {
+		if s.Greenup > best.Greenup {
+			best = s
+		}
+	}
+	return best.Knob, nil
+}

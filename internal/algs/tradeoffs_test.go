@@ -1,0 +1,154 @@
+package algs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func fermiNoPi0() core.Params {
+	p := core.FromMachine(machine.FermiTableII(), machine.Double)
+	p.Pi0 = 0
+	return p
+}
+
+func TestTradeoffCatalogTransforms(t *testing.T) {
+	// Time tiling: t steps → m = t, f = 1 + α(t−1).
+	tt := TimeTiling(0.05)
+	tr, err := tt.Transform(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.M != 10 || math.Abs(tr.F-1.45) > 1e-12 {
+		t.Errorf("time tiling = %+v", tr)
+	}
+	// 2.5D: c = 4 → m = 2, f = 1.
+	r25, err := Replication25D().Transform(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r25.M-2) > 1e-9 || r25.F != 1 {
+		t.Errorf("2.5D = %+v", r25)
+	}
+	// Recomputation: k = 4 → m = 4, f = 1.75.
+	rc, err := Recomputation().Transform(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.M != 4 || math.Abs(rc.F-1.75) > 1e-12 {
+		t.Errorf("recompute = %+v", rc)
+	}
+	// Knob validation.
+	for _, tr := range TradeoffCatalog() {
+		if _, err := tr.Transform(0.5); err == nil {
+			t.Errorf("%s: knob below 1 accepted", tr.Name)
+		}
+	}
+	if len(TradeoffCatalog()) != 3 {
+		t.Errorf("catalog size = %d", len(TradeoffCatalog()))
+	}
+}
+
+func TestReplicationIsAlwaysBeneficialMemoryBound(t *testing.T) {
+	// 2.5D replication adds no flops: on a memory-bound baseline it is
+	// both a speedup and a greenup at any c > 1.
+	p := fermiNoPi0()
+	base := core.KernelAt(1e9, 1)
+	sweep, err := SweepTradeoff(p, base, Replication25D(), []float64{2, 4, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sweep {
+		if s.Outcome != core.Both {
+			t.Errorf("c=%v: outcome %v, want both (ΔT=%v ΔE=%v)", s.Knob, s.Outcome, s.Speedup, s.Greenup)
+		}
+	}
+	// Greenup grows monotonically with c while memory-bound.
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].Greenup <= sweep[i-1].Greenup {
+			t.Errorf("greenup not increasing at c=%v", sweep[i].Knob)
+		}
+	}
+}
+
+func TestTimeTilingHasInteriorOptimum(t *testing.T) {
+	// With α > 0, deeper tiling eventually costs more flops than the
+	// traffic saving is worth: the greenup-optimal t is interior.
+	p := fermiNoPi0()
+	base := core.KernelAt(1e9, 0.5) // deeply memory-bound stencil-like
+	knobs := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	best, err := BestKnob(p, base, TimeTiling(0.04), knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best <= 1 || best >= 512 {
+		t.Errorf("optimal fused steps = %v, want interior", best)
+	}
+	// Around the optimum, greenup decreases both ways.
+	sweep, err := SweepTradeoff(p, base, TimeTiling(0.04), knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := 0
+	for i, s := range sweep {
+		if s.Knob == best {
+			bi = i
+		}
+	}
+	if bi == 0 || bi == len(sweep)-1 {
+		t.Fatalf("optimum at the sweep edge: %v", best)
+	}
+	if sweep[bi-1].Greenup > sweep[bi].Greenup || sweep[bi+1].Greenup > sweep[bi].Greenup {
+		t.Error("BestKnob did not find the maximum")
+	}
+}
+
+func TestRecomputationNeedsCheapFlops(t *testing.T) {
+	// Recompute-over-store roughly doubles work for large k; eq. (10)
+	// then demands Bε/I > ~1. On a compute-bound baseline it's a loss;
+	// deeply memory-bound it wins.
+	p := fermiNoPi0()
+	cb := core.KernelAt(1e9, 64) // compute-bound
+	s, err := SweepTradeoff(p, cb, Recomputation(), []float64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Outcome != core.Neither {
+		t.Errorf("compute-bound recompute should lose: %v", s[0].Outcome)
+	}
+	mb := core.KernelAt(1e9, 0.5)
+	s, err = SweepTradeoff(p, mb, Recomputation(), []float64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Greenup <= 1 {
+		t.Errorf("memory-bound recompute should be green: ΔE=%v", s[0].Greenup)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	p := fermiNoPi0()
+	base := core.KernelAt(1e9, 1)
+	if _, err := SweepTradeoff(p, base, Replication25D(), nil); err == nil {
+		t.Error("empty knob list accepted")
+	}
+	if _, err := SweepTradeoff(p, base, Replication25D(), []float64{0.1}); err == nil {
+		t.Error("invalid knob accepted")
+	}
+	if _, err := BestKnob(p, base, Replication25D(), nil); err == nil {
+		t.Error("empty BestKnob accepted")
+	}
+}
+
+func TestSqrtHelper(t *testing.T) {
+	for _, x := range []float64{0.25, 1, 2, 100, 1e6} {
+		if math.Abs(sqrt(x)-math.Sqrt(x)) > 1e-9*math.Sqrt(x) {
+			t.Errorf("sqrt(%v) = %v", x, sqrt(x))
+		}
+	}
+	if sqrt(0) != 0 || sqrt(-1) != 0 {
+		t.Error("sqrt edge cases")
+	}
+}

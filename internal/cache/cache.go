@@ -1,0 +1,375 @@
+// Package cache implements a multi-level set-associative cache
+// simulator with LRU replacement and write-back/write-allocate
+// semantics. It stands in for the hardware performance counters the
+// paper reads (§V-C): per-level byte traffic ("bytes read from the L1
+// and L2 caches") and DRAM traffic ("bytes read from the DRAM using
+// hardware counters (L2 read misses)").
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// LevelStats are the per-level counters.
+type LevelStats struct {
+	// Name is the level label ("L1", ...).
+	Name string
+	// Accesses is the number of line requests that reached this level.
+	Accesses uint64
+	// Hits and Misses partition Accesses.
+	Hits uint64
+	// Misses counts lookups that did not find the line.
+	Misses uint64
+	// DemandMisses are misses from program reads/writes, excluding
+	// misses triggered by inner-level writebacks (which overwrite the
+	// whole line and fetch nothing). At the outer level these are the
+	// paper's "L2 read misses" counter.
+	DemandMisses uint64
+	// ReadHits and WriteHits split Hits by request type.
+	ReadHits uint64
+	// WriteHits counts hits from store requests.
+	WriteHits uint64
+	// BytesServed is Hits times the line size: the traffic this level
+	// supplied to the level above (the paper's "bytes read from" it).
+	BytesServed uint64
+	// Writebacks counts dirty lines evicted from this level.
+	Writebacks uint64
+}
+
+// HitRate returns Hits/Accesses, or 0 for an untouched level.
+func (s LevelStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+type level struct {
+	cfg   machine.CacheLevel
+	sets  uint64
+	ways  int
+	data  []line // sets × ways, row-major
+	stats LevelStats
+}
+
+func newLevel(cfg machine.CacheLevel) *level {
+	lines := uint64(cfg.Size) / uint64(cfg.LineSize)
+	sets := lines / uint64(cfg.Assoc)
+	l := &level{
+		cfg:  cfg,
+		sets: sets,
+		ways: cfg.Assoc,
+		data: make([]line, lines),
+	}
+	l.stats.Name = cfg.Name
+	return l
+}
+
+// access looks up lineAddr (already shifted to line granularity).
+// On a miss the line is installed (write-allocate); the return values
+// report whether it hit and whether a dirty victim was evicted.
+func (l *level) access(lineAddr uint64, write, demand bool, tick uint64) (hit bool, evicted bool, victim uint64) {
+	set := lineAddr % l.sets
+	base := int(set) * l.ways
+	ways := l.data[base : base+l.ways]
+	l.stats.Accesses++
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == lineAddr {
+			l.stats.Hits++
+			l.stats.BytesServed += uint64(l.cfg.LineSize)
+			if write {
+				l.stats.WriteHits++
+				ways[i].dirty = true
+			} else {
+				l.stats.ReadHits++
+			}
+			ways[i].used = tick
+			return true, false, 0
+		}
+	}
+	l.stats.Misses++
+	if demand {
+		l.stats.DemandMisses++
+	}
+	// Choose victim: first invalid way, else LRU.
+	vi := -1
+	for i := range ways {
+		if !ways[i].valid {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		vi = 0
+		for i := 1; i < len(ways); i++ {
+			if ways[i].used < ways[vi].used {
+				vi = i
+			}
+		}
+		if ways[vi].dirty {
+			evicted = true
+			victim = ways[vi].tag
+			l.stats.Writebacks++
+		}
+	}
+	ways[vi] = line{tag: lineAddr, valid: true, dirty: write, used: tick}
+	return false, evicted, victim
+}
+
+// Hierarchy is a stack of cache levels over DRAM.
+type Hierarchy struct {
+	levels   []*level
+	lineSize uint64
+	tick     uint64
+
+	dramReadLines  uint64
+	dramWriteLines uint64
+
+	// prefetch enables a next-line prefetcher at the outer level: a
+	// demand read miss also fetches the following line (counted as
+	// prefetch traffic, installed without touching hit/miss counters).
+	prefetch       bool
+	prefetchIssued uint64
+
+	// writeThrough switches stores to write-through/no-write-allocate:
+	// every store is forwarded to DRAM, hits update the caches in
+	// place, and write misses install nothing.
+	writeThrough bool
+}
+
+// SetWriteThrough selects the store policy: write-through with
+// no-write-allocate (true) or the default write-back with
+// write-allocate (false). Switching policies mid-run is allowed; dirty
+// lines from the write-back phase still write back on eviction.
+func (h *Hierarchy) SetWriteThrough(on bool) { h.writeThrough = on }
+
+// New builds a hierarchy from innermost (L1) to outermost. All levels
+// must share one line size (the reproduction's platforms do), and each
+// level must be at least as large as the previous one.
+func New(levels []machine.CacheLevel) (*Hierarchy, error) {
+	if len(levels) == 0 {
+		return nil, errors.New("cache: need at least one level")
+	}
+	h := &Hierarchy{lineSize: uint64(levels[0].LineSize)}
+	for i, cfg := range levels {
+		if cfg.Size <= 0 || cfg.LineSize <= 0 || cfg.Assoc <= 0 {
+			return nil, fmt.Errorf("cache: level %d (%s) has non-positive geometry", i, cfg.Name)
+		}
+		if uint64(cfg.LineSize) != h.lineSize {
+			return nil, fmt.Errorf("cache: level %d (%s) line size %d differs from %d", i, cfg.Name, cfg.LineSize, h.lineSize)
+		}
+		lines := cfg.Size / int64(cfg.LineSize)
+		if lines%int64(cfg.Assoc) != 0 {
+			return nil, fmt.Errorf("cache: level %d (%s) lines %d not divisible by associativity %d", i, cfg.Name, lines, cfg.Assoc)
+		}
+		if i > 0 && cfg.Size < levels[i-1].Size {
+			return nil, fmt.Errorf("cache: level %d (%s) smaller than inner level", i, cfg.Name)
+		}
+		h.levels = append(h.levels, newLevel(cfg))
+	}
+	return h, nil
+}
+
+// FromMachine builds the hierarchy of machine m. The machine must have
+// at least one cache level configured.
+func FromMachine(m *machine.Machine) (*Hierarchy, error) {
+	if len(m.Caches) == 0 {
+		return nil, fmt.Errorf("cache: machine %s has no cache levels", m.Name)
+	}
+	return New(m.Caches)
+}
+
+// LineSize returns the uniform cache line size in bytes.
+func (h *Hierarchy) LineSize() int { return int(h.lineSize) }
+
+// Read simulates a read of size bytes at addr.
+func (h *Hierarchy) Read(addr uint64, size int) { h.Access(addr, size, false) }
+
+// Write simulates a write of size bytes at addr.
+func (h *Hierarchy) Write(addr uint64, size int) { h.Access(addr, size, true) }
+
+// Access simulates a read or write of size bytes at addr, splitting the
+// request into line-granularity lookups.
+func (h *Hierarchy) Access(addr uint64, size int, write bool) {
+	if size <= 0 {
+		return
+	}
+	first := addr / h.lineSize
+	last := (addr + uint64(size) - 1) / h.lineSize
+	for la := first; la <= last; la++ {
+		h.tick++
+		h.accessLine(la, write)
+	}
+}
+
+func (h *Hierarchy) accessLine(lineAddr uint64, write bool) {
+	if write && h.writeThrough {
+		h.writeThroughLine(lineAddr)
+		return
+	}
+	for i, l := range h.levels {
+		hit, evicted, victim := l.access(lineAddr, write, true, h.tick)
+		if evicted {
+			h.writeback(i+1, victim)
+		}
+		if hit {
+			return
+		}
+	}
+	// Missed everywhere: line comes from DRAM.
+	h.dramReadLines++
+	if h.prefetch && !write {
+		h.prefetchLine(lineAddr + 1)
+	}
+}
+
+// EnablePrefetch turns the outer-level next-line prefetcher on or off.
+func (h *Hierarchy) EnablePrefetch(on bool) { h.prefetch = on }
+
+// PrefetchIssued reports how many prefetch fetches went to DRAM.
+func (h *Hierarchy) PrefetchIssued() uint64 { return h.prefetchIssued }
+
+// prefetchLine installs lineAddr in the outer level if absent, charging
+// the DRAM fetch to the prefetcher rather than to demand traffic
+// statistics (but it is still DRAM traffic).
+func (h *Hierarchy) prefetchLine(lineAddr uint64) {
+	outer := h.levels[len(h.levels)-1]
+	// Probe without disturbing statistics: a silent lookup.
+	set := lineAddr % outer.sets
+	base := int(set) * outer.ways
+	ways := outer.data[base : base+outer.ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == lineAddr {
+			return // already resident
+		}
+	}
+	// Install manually: a prefetch is not an access, so it must not
+	// perturb the hit/miss counters.
+	vi := -1
+	for i := range ways {
+		if !ways[i].valid {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		vi = 0
+		for i := 1; i < len(ways); i++ {
+			if ways[i].used < ways[vi].used {
+				vi = i
+			}
+		}
+		if ways[vi].dirty {
+			h.dramWriteLines++
+			outer.stats.Writebacks++
+		}
+	}
+	// Install with an older timestamp than demand lines so useless
+	// prefetches are evicted first.
+	ts := uint64(0)
+	if h.tick > 0 {
+		ts = h.tick - 1
+	}
+	ways[vi] = line{tag: lineAddr, valid: true, used: ts}
+	h.prefetchIssued++
+	h.dramReadLines++
+}
+
+// writeThroughLine handles one store under write-through/no-write-
+// allocate: update every level that holds the line (counted as a write
+// hit there; lines stay clean), count a demand miss at levels that do
+// not, and forward the store to DRAM unconditionally.
+func (h *Hierarchy) writeThroughLine(lineAddr uint64) {
+	for _, l := range h.levels {
+		set := lineAddr % l.sets
+		base := int(set) * l.ways
+		ways := l.data[base : base+l.ways]
+		l.stats.Accesses++
+		hit := false
+		for i := range ways {
+			if ways[i].valid && ways[i].tag == lineAddr {
+				l.stats.Hits++
+				l.stats.WriteHits++
+				l.stats.BytesServed += uint64(l.cfg.LineSize)
+				ways[i].used = h.tick
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			// A no-allocate write miss fetches nothing, so it is not a
+			// demand (read) miss.
+			l.stats.Misses++
+		}
+	}
+	h.dramWriteLines++
+}
+
+// writeback pushes a dirty victim from level idx-1 into level idx (or
+// DRAM if past the last level).
+func (h *Hierarchy) writeback(idx int, lineAddr uint64) {
+	if idx >= len(h.levels) {
+		h.dramWriteLines++
+		return
+	}
+	hit, evicted, victim := h.levels[idx].access(lineAddr, true, false, h.tick)
+	if evicted {
+		h.writeback(idx+1, victim)
+	}
+	if !hit {
+		// Write-allocate at this level; the line's old contents came
+		// from below conceptually, but a full writeback line overwrites
+		// it, so no DRAM read is charged.
+		_ = hit
+	}
+}
+
+// Stats returns a copy of the per-level counters, innermost first.
+func (h *Hierarchy) Stats() []LevelStats {
+	out := make([]LevelStats, len(h.levels))
+	for i, l := range h.levels {
+		out[i] = l.stats
+	}
+	return out
+}
+
+// DRAMReadBytes is the traffic fetched from DRAM (outer-level read
+// misses times the line size) — the paper's Q estimator.
+func (h *Hierarchy) DRAMReadBytes() uint64 { return h.dramReadLines * h.lineSize }
+
+// DRAMWriteBytes is the write-back traffic to DRAM.
+func (h *Hierarchy) DRAMWriteBytes() uint64 { return h.dramWriteLines * h.lineSize }
+
+// DRAMBytes is total DRAM traffic in both directions.
+func (h *Hierarchy) DRAMBytes() uint64 { return h.DRAMReadBytes() + h.DRAMWriteBytes() }
+
+// CacheBytes is the total traffic served by all cache levels — the
+// quantity the paper multiplies by its fitted 187 pJ/B cache cost.
+func (h *Hierarchy) CacheBytes() uint64 {
+	var sum uint64
+	for _, l := range h.levels {
+		sum += l.stats.BytesServed
+	}
+	return sum
+}
+
+// Reset clears all cache contents and counters.
+func (h *Hierarchy) Reset() {
+	for i, l := range h.levels {
+		h.levels[i] = newLevel(l.cfg)
+	}
+	h.tick = 0
+	h.dramReadLines = 0
+	h.dramWriteLines = 0
+	h.prefetchIssued = 0
+}

@@ -1,0 +1,409 @@
+// Package chart renders roofline/arch-line/power-line figures as ASCII
+// (for terminal output, the way the experiments binary reports) and as
+// standalone SVG documents. Axes may be log₂-scaled, matching the
+// paper's figures, with power-of-two tick labels ("1/4", "1/2", "1",
+// "2", ...). Vertical marker lines annotate balance points exactly as
+// Figs. 2, 4 and 5 do.
+package chart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted data set.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y are the data coordinates (equal length).
+	X, Y []float64
+	// Marker is the rune plotted at data points (default '*').
+	Marker rune
+	// Line connects consecutive points when true.
+	Line bool
+}
+
+// VLine is a vertical annotation (e.g. a balance point).
+type VLine struct {
+	// X is the annotation's data coordinate.
+	X float64
+	// Label names the annotation in the legend.
+	Label string
+}
+
+// HLine is a horizontal annotation (e.g. a power limit).
+type HLine struct {
+	// Y is the annotation's data coordinate.
+	Y float64
+	// Label names the annotation in the legend.
+	Label string
+}
+
+// Chart is a 2-D figure.
+type Chart struct {
+	// Title heads the figure.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel string
+	// YLabel annotates the vertical axis.
+	YLabel string
+	// LogX/LogY select log₂ axes.
+	LogX, LogY bool
+	// Series are the plotted data sets.
+	Series []Series
+	// VLines and HLines are the annotations.
+	VLines []VLine
+	// HLines are horizontal annotations.
+	HLines []HLine
+	// Width and Height are the ASCII plot-area size in characters
+	// (defaults 64×20).
+	Width, Height int
+}
+
+type bounds struct{ x0, x1, y0, y1 float64 }
+
+func (c *Chart) transformX(x float64) (float64, error) {
+	if c.LogX {
+		if x <= 0 {
+			return 0, fmt.Errorf("chart: non-positive x %g on log axis", x)
+		}
+		return math.Log2(x), nil
+	}
+	return x, nil
+}
+
+func (c *Chart) transformY(y float64) (float64, error) {
+	if c.LogY {
+		if y <= 0 {
+			return 0, fmt.Errorf("chart: non-positive y %g on log axis", y)
+		}
+		return math.Log2(y), nil
+	}
+	return y, nil
+}
+
+func (c *Chart) dataBounds() (bounds, error) {
+	b := bounds{math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)}
+	add := func(tx, ty float64, useY bool) {
+		b.x0 = math.Min(b.x0, tx)
+		b.x1 = math.Max(b.x1, tx)
+		if useY {
+			b.y0 = math.Min(b.y0, ty)
+			b.y1 = math.Max(b.y1, ty)
+		}
+	}
+	n := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return b, fmt.Errorf("chart: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			tx, err := c.transformX(s.X[i])
+			if err != nil {
+				return b, err
+			}
+			ty, err := c.transformY(s.Y[i])
+			if err != nil {
+				return b, err
+			}
+			add(tx, ty, true)
+			n++
+		}
+	}
+	if n == 0 {
+		return b, errors.New("chart: no data")
+	}
+	for _, v := range c.VLines {
+		tx, err := c.transformX(v.X)
+		if err != nil {
+			return b, err
+		}
+		add(tx, 0, false)
+	}
+	for _, h := range c.HLines {
+		ty, err := c.transformY(h.Y)
+		if err != nil {
+			return b, err
+		}
+		b.y0 = math.Min(b.y0, ty)
+		b.y1 = math.Max(b.y1, ty)
+	}
+	if b.x1 == b.x0 {
+		b.x0 -= 1
+		b.x1 += 1
+	}
+	if b.y1 == b.y0 {
+		b.y0 -= 1
+		b.y1 += 1
+	}
+	return b, nil
+}
+
+// tickLabel renders a power-of-two value the way the paper's axes do.
+func tickLabel(exp int) string {
+	if exp >= 0 {
+		v := int64(1) << uint(exp)
+		return fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("1/%d", int64(1)<<uint(-exp))
+}
+
+// RenderASCII draws the chart into a text block.
+func (c *Chart) RenderASCII() (string, error) {
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 64
+	}
+	if h == 0 {
+		h = 20
+	}
+	if w < 16 || h < 6 {
+		return "", errors.New("chart: plot area too small")
+	}
+	b, err := c.dataBounds()
+	if err != nil {
+		return "", err
+	}
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = make([]rune, w)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	col := func(tx float64) int {
+		f := (tx - b.x0) / (b.x1 - b.x0)
+		j := int(math.Round(f * float64(w-1)))
+		if j < 0 {
+			j = 0
+		}
+		if j >= w {
+			j = w - 1
+		}
+		return j
+	}
+	row := func(ty float64) int {
+		f := (ty - b.y0) / (b.y1 - b.y0)
+		i := int(math.Round((1 - f) * float64(h-1)))
+		if i < 0 {
+			i = 0
+		}
+		if i >= h {
+			i = h - 1
+		}
+		return i
+	}
+
+	// Horizontal annotations first (lowest z-order).
+	for _, hl := range c.HLines {
+		ty, _ := c.transformY(hl.Y)
+		r := row(ty)
+		for j := 0; j < w; j++ {
+			grid[r][j] = '-'
+		}
+	}
+	// Vertical annotations.
+	for _, vl := range c.VLines {
+		tx, _ := c.transformX(vl.X)
+		cj := col(tx)
+		for i := 0; i < h; i++ {
+			grid[i][cj] = '|'
+		}
+	}
+	// Series.
+	for _, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		var prevJ, prevI int
+		havePrev := false
+		for k := range s.X {
+			tx, _ := c.transformX(s.X[k])
+			ty, _ := c.transformY(s.Y[k])
+			j, i := col(tx), row(ty)
+			if s.Line && havePrev {
+				drawSegment(grid, prevJ, prevI, j, i, marker)
+			}
+			grid[i][j] = marker
+			prevJ, prevI = j, i
+			havePrev = true
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&sb, "[y: %s]\n", c.YLabel)
+	}
+	linTicks := linearTicks(b.y0, b.y1)
+	for i := 0; i < h; i++ {
+		// y-axis tick label on rows that land on tick values: integer
+		// powers of two on a log axis, "nice" steps on a linear one.
+		label := strings.Repeat(" ", 8)
+		if c.LogY {
+			for exp := int(math.Floor(b.y0)); exp <= int(math.Ceil(b.y1)); exp++ {
+				if row(float64(exp)) == i {
+					label = fmt.Sprintf("%7s ", tickLabel(exp))
+					break
+				}
+			}
+		} else {
+			for _, tv := range linTicks {
+				if row(tv) == i {
+					label = fmt.Sprintf("%7.4g ", tv)
+					break
+				}
+			}
+		}
+		sb.WriteString(label)
+		sb.WriteString("+")
+		sb.WriteString(string(grid[i]))
+		sb.WriteString("\n")
+	}
+	// x axis.
+	sb.WriteString(strings.Repeat(" ", 8) + "+" + strings.Repeat("-", w) + "\n")
+	if c.LogX {
+		axis := make([]rune, w+9)
+		for i := range axis {
+			axis[i] = ' '
+		}
+		for exp := int(math.Ceil(b.x0)); exp <= int(math.Floor(b.x1)); exp++ {
+			j := col(float64(exp)) + 9
+			lbl := tickLabel(exp)
+			for k, r := range lbl {
+				if j+k < len(axis) {
+					axis[j+k] = r
+				}
+			}
+		}
+		sb.WriteString(strings.TrimRight(string(axis), " ") + "\n")
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&sb, "[x: %s]\n", c.XLabel)
+	}
+	for _, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		fmt.Fprintf(&sb, "  %c %s\n", marker, s.Name)
+	}
+	for _, v := range c.VLines {
+		fmt.Fprintf(&sb, "  | %s (x=%.3g)\n", v.Label, v.X)
+	}
+	for _, hl := range c.HLines {
+		fmt.Fprintf(&sb, "  - %s (y=%.3g)\n", hl.Label, hl.Y)
+	}
+	return sb.String(), nil
+}
+
+// ComposeGrid arranges pre-rendered text blocks into a panel grid —
+// the Fig. 4/5 layout of per-platform subplots side by side. Blocks in
+// a row are padded to equal height and joined with a gutter.
+func ComposeGrid(rows [][]string, gutter int) string {
+	if gutter < 1 {
+		gutter = 4
+	}
+	var sb strings.Builder
+	for ri, row := range rows {
+		if ri > 0 {
+			sb.WriteString("\n")
+		}
+		// Split each block into lines and find dimensions.
+		split := make([][]string, len(row))
+		widths := make([]int, len(row))
+		height := 0
+		for i, block := range row {
+			split[i] = strings.Split(strings.TrimRight(block, "\n"), "\n")
+			if len(split[i]) > height {
+				height = len(split[i])
+			}
+			for _, line := range split[i] {
+				if w := len([]rune(line)); w > widths[i] {
+					widths[i] = w
+				}
+			}
+		}
+		for li := 0; li < height; li++ {
+			for i := range row {
+				var line string
+				if li < len(split[i]) {
+					line = split[i][li]
+				}
+				sb.WriteString(line)
+				if i < len(row)-1 {
+					pad := widths[i] - len([]rune(line)) + gutter
+					sb.WriteString(strings.Repeat(" ", pad))
+				}
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// linearTicks returns "nice" tick values (1/2/5 × 10ⁿ steps) covering
+// [lo, hi], aiming for roughly five ticks.
+func linearTicks(lo, hi float64) []float64 {
+	if hi <= lo {
+		return nil
+	}
+	raw := (hi - lo) / 5
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	step := mag
+	switch {
+	case raw/mag >= 5:
+		step = 5 * mag
+	case raw/mag >= 2:
+		step = 2 * mag
+	}
+	var out []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step*1e-9; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// drawSegment draws a line between two grid cells (Bresenham).
+func drawSegment(grid [][]rune, x0, y0, x1, y1 int, marker rune) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if grid[y0][x0] == ' ' || grid[y0][x0] == '-' || grid[y0][x0] == '|' {
+			grid[y0][x0] = marker
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,290 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func rooflineChart(t *testing.T) *Chart {
+	t.Helper()
+	p := core.FromMachine(machine.FermiTableII(), machine.Double)
+	grid := core.LogGrid(0.5, 512, 41)
+	roof := make([]float64, len(grid))
+	arch := make([]float64, len(grid))
+	for i, x := range grid {
+		roof[i] = p.RooflineTime(x)
+		arch[i] = p.ArchlineEnergy(x)
+	}
+	return &Chart{
+		Title:  "Fig 2a: roofline vs arch line",
+		XLabel: "Intensity (flop:byte)",
+		YLabel: "Relative performance",
+		LogX:   true,
+		LogY:   true,
+		Series: []Series{
+			{Name: "Roofline (GFLOP/s)", X: grid, Y: roof, Marker: 'r', Line: true},
+			{Name: "Arch line (GFLOP/J)", X: grid, Y: arch, Marker: 'e', Line: true},
+		},
+		VLines: []VLine{
+			{X: p.BalanceTime(), Label: "Bτ"},
+			{X: p.BalanceEnergy(), Label: "Bε"},
+		},
+	}
+}
+
+func TestRenderASCIIRoofline(t *testing.T) {
+	out, err := rooflineChart(t).RenderASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Fig 2a", "Roofline (GFLOP/s)", "Arch line (GFLOP/J)",
+		"Bτ (x=3.58)", "Bε (x=14.4)",
+		"Intensity (flop:byte)",
+		"1/2", // log tick labels
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q", want)
+		}
+	}
+	// Both markers appear in the plot body.
+	if !strings.Contains(out, "r") || !strings.Contains(out, "e") {
+		t.Error("series markers missing")
+	}
+	// Vertical annotation column present.
+	if !strings.Contains(out, "|") {
+		t.Error("vline missing")
+	}
+}
+
+func TestRooflineShapeInASCII(t *testing.T) {
+	// The top row of the plot should contain the saturated roofline
+	// (y=1) on the right side.
+	c := rooflineChart(t)
+	c.Width, c.Height = 60, 18
+	out, err := c.RenderASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// Find the first grid row (after title and y-label header).
+	var top string
+	for _, l := range lines {
+		if strings.Contains(l, "+") && len(l) > 20 {
+			top = l
+			break
+		}
+	}
+	if !strings.Contains(top, "r") {
+		t.Errorf("saturated roofline not on top row: %q", top)
+	}
+	// The right half of the top row is roofline; left half must not be.
+	body := top[strings.Index(top, "+")+1:]
+	left := body[:len(body)/4]
+	if strings.Contains(left, "r") {
+		t.Errorf("roofline saturates too early: %q", left)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	c := &Chart{}
+	if _, err := c.RenderASCII(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c = &Chart{Series: []Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := c.RenderASCII(); err == nil {
+		t.Error("ragged series accepted")
+	}
+	c = &Chart{LogX: true, Series: []Series{{Name: "neg", X: []float64{-1}, Y: []float64{1}}}}
+	if _, err := c.RenderASCII(); err == nil {
+		t.Error("negative value on log axis accepted")
+	}
+	c = &Chart{Width: 4, Height: 4, Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1}}}}
+	if _, err := c.RenderASCII(); err == nil {
+		t.Error("tiny plot area accepted")
+	}
+	c = &Chart{LogY: true, HLines: []HLine{{Y: 0}}, Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1}}}}
+	if _, err := c.RenderASCII(); err == nil {
+		t.Error("non-positive hline on log axis accepted")
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// Single point: bounds expand so rendering still works.
+	c := &Chart{Series: []Series{{Name: "pt", X: []float64{5}, Y: []float64{3}}}}
+	out, err := c.RenderASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("default marker missing")
+	}
+}
+
+func TestTickLabel(t *testing.T) {
+	cases := map[int]string{0: "1", 1: "2", 4: "16", -1: "1/2", -4: "1/16"}
+	for exp, want := range cases {
+		if got := tickLabel(exp); got != want {
+			t.Errorf("tickLabel(%d) = %q, want %q", exp, got, want)
+		}
+	}
+}
+
+func TestHLinesRendered(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{Name: "s", X: []float64{0, 1, 2}, Y: []float64{1, 2, 3}, Line: true}},
+		HLines: []HLine{{Y: 2, Label: "cap"}},
+	}
+	out, err := c.RenderASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "---") {
+		t.Error("hline dashes missing")
+	}
+	if !strings.Contains(out, "cap (y=2)") {
+		t.Error("hline legend missing")
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	out, err := rooflineChart(t).RenderSVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "stroke-dasharray",
+		"Fig 2a", "Roofline (GFLOP/s)", "1/2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series → two polylines.
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("polyline count = %d", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestSVGScatter(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{Name: "dots", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}}},
+	}
+	out, err := c.RenderSVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "<circle") != 3 {
+		t.Errorf("circle count = %d, want 3", strings.Count(out, "<circle"))
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	c := &Chart{
+		Title:  `a < b & "c"`,
+		Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1}}},
+	}
+	out, err := c.RenderSVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, `a < b`) {
+		t.Error("unescaped < in SVG")
+	}
+	if !strings.Contains(out, "a &lt; b &amp; &quot;c&quot;") {
+		t.Error("escape output wrong")
+	}
+}
+
+func TestSVGError(t *testing.T) {
+	if _, err := (&Chart{}).RenderSVG(); err == nil {
+		t.Error("empty SVG chart accepted")
+	}
+}
+
+func TestLinearTicks(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		first  float64
+		count  int
+	}{
+		{0, 100, 0, 6},     // step 20: 0,20,...,100
+		{0, 387, 0, 0},     // count checked loosely below
+		{120, 260, 120, 0}, // fig-5-style power range
+	}
+	for _, c := range cases {
+		ticks := linearTicks(c.lo, c.hi)
+		if len(ticks) < 3 || len(ticks) > 9 {
+			t.Errorf("[%g,%g]: %d ticks (%v)", c.lo, c.hi, len(ticks), ticks)
+		}
+		if c.count > 0 && len(ticks) != c.count {
+			t.Errorf("[%g,%g]: %d ticks, want %d", c.lo, c.hi, len(ticks), c.count)
+		}
+		for _, v := range ticks {
+			if v < c.lo-1e-9 || v > c.hi+1e-9 {
+				t.Errorf("tick %v outside [%g,%g]", v, c.lo, c.hi)
+			}
+		}
+	}
+	if linearTicks(5, 5) != nil {
+		t.Error("degenerate range should give nil")
+	}
+}
+
+func TestLinearAxisLabelsRendered(t *testing.T) {
+	// A fig-5-style chart: log x, linear y in Watts.
+	c := &Chart{
+		Title:  "power",
+		LogX:   true,
+		Series: []Series{{Name: "P", X: []float64{0.25, 4, 64}, Y: []float64{150, 387, 180}, Line: true}},
+	}
+	out, err := c.RenderASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least two numeric y labels from the nice-step ticker.
+	found := 0
+	for _, want := range []string{"200 ", "300 ", "250 ", "350 "} {
+		if strings.Contains(out, want) {
+			found++
+		}
+	}
+	if found < 2 {
+		t.Errorf("linear y ticks missing:\n%s", out)
+	}
+}
+
+func TestComposeGrid(t *testing.T) {
+	a := "AAA\nAA\nA"
+	b := "BB\nB"
+	out := ComposeGrid([][]string{{a, b}, {"C"}}, 2)
+	raw := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	lines := make([]string, len(raw))
+	for i, l := range raw {
+		lines[i] = strings.TrimRight(l, " ")
+	}
+	// Three panel lines, one blank separator, one second-row line.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "AAA  BB" {
+		t.Errorf("row 0 = %q", lines[0])
+	}
+	if lines[1] != "AA   B" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "A" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+	if lines[3] != "" || lines[4] != "C" {
+		t.Errorf("second grid row = %q / %q", lines[3], lines[4])
+	}
+	// Default gutter.
+	out2 := ComposeGrid([][]string{{"x", "y"}}, 0)
+	if !strings.Contains(out2, "x    y") {
+		t.Errorf("default gutter: %q", out2)
+	}
+}

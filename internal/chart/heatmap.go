@@ -1,0 +1,126 @@
+package chart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a matrix of values over two axes — used for the
+// greenup (f, m) plane of §VII, where each cell is a trade-off outcome.
+type Heatmap struct {
+	// Title heads the figure.
+	Title string
+	// XLabel annotates the columns.
+	XLabel string
+	// YLabel annotates the rows.
+	YLabel string
+	// X and Y are the axis coordinates; Z[i][j] is the value at
+	// (X[j], Y[i]).
+	X, Y []float64
+	// Z is the value matrix, len(Y) rows of len(X) columns.
+	Z [][]float64
+	// Cell maps a value to its glyph. When nil, a density ramp over the
+	// data range is used.
+	Cell func(v float64) rune
+	// Legend describes the glyphs (printed below the map).
+	Legend []string
+}
+
+// Validate checks the matrix shape.
+func (h *Heatmap) Validate() error {
+	if len(h.X) == 0 || len(h.Y) == 0 {
+		return errors.New("chart: heatmap needs non-empty axes")
+	}
+	if len(h.Z) != len(h.Y) {
+		return fmt.Errorf("chart: heatmap has %d rows for %d y values", len(h.Z), len(h.Y))
+	}
+	for i, row := range h.Z {
+		if len(row) != len(h.X) {
+			return fmt.Errorf("chart: heatmap row %d has %d cols for %d x values", i, len(row), len(h.X))
+		}
+	}
+	return nil
+}
+
+// defaultRamp maps the data range onto a density ramp.
+func (h *Heatmap) defaultRamp() func(float64) rune {
+	ramp := []rune(" .:-=+*#%@")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range h.Z {
+		for _, v := range row {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	return func(v float64) rune {
+		if hi == lo {
+			return ramp[len(ramp)/2]
+		}
+		f := (v - lo) / (hi - lo)
+		idx := int(f * float64(len(ramp)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		return ramp[idx]
+	}
+}
+
+// RenderASCII draws the heatmap, one character per cell, y decreasing
+// downwards (so the first Y row prints at the top).
+func (h *Heatmap) RenderASCII() (string, error) {
+	if err := h.Validate(); err != nil {
+		return "", err
+	}
+	cell := h.Cell
+	if cell == nil {
+		cell = h.defaultRamp()
+	}
+	var sb strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", h.Title)
+	}
+	if h.YLabel != "" {
+		fmt.Fprintf(&sb, "[rows: %s, top-to-bottom]\n", h.YLabel)
+	}
+	// Rows print in reverse order so the largest y is on top.
+	for i := len(h.Y) - 1; i >= 0; i-- {
+		fmt.Fprintf(&sb, "%10.4g |", h.Y[i])
+		for j := range h.X {
+			// Double-width cells read better in monospace.
+			r := cell(h.Z[i][j])
+			sb.WriteRune(r)
+			sb.WriteRune(r)
+		}
+		sb.WriteString("|\n")
+	}
+	sb.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", 2*len(h.X)) + "+\n")
+	// X tick row: first, middle, last.
+	ticks := make([]rune, 2*len(h.X)+12)
+	for i := range ticks {
+		ticks[i] = ' '
+	}
+	place := func(col int, label string) {
+		start := 12 + 2*col
+		for k, r := range label {
+			if start+k < len(ticks) {
+				ticks[start+k] = r
+			}
+		}
+	}
+	place(0, fmt.Sprintf("%.3g", h.X[0]))
+	place(len(h.X)/2, fmt.Sprintf("%.3g", h.X[len(h.X)/2]))
+	place(len(h.X)-1, fmt.Sprintf("%.3g", h.X[len(h.X)-1]))
+	sb.WriteString(strings.TrimRight(string(ticks), " ") + "\n")
+	if h.XLabel != "" {
+		fmt.Fprintf(&sb, "[cols: %s]\n", h.XLabel)
+	}
+	for _, l := range h.Legend {
+		fmt.Fprintf(&sb, "  %s\n", l)
+	}
+	return sb.String(), nil
+}

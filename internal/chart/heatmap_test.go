@@ -1,0 +1,97 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallHeatmap() *Heatmap {
+	return &Heatmap{
+		Title:  "hm",
+		XLabel: "xs",
+		YLabel: "ys",
+		X:      []float64{1, 2, 4},
+		Y:      []float64{10, 20},
+		Z:      [][]float64{{0, 1, 2}, {2, 1, 0}},
+	}
+}
+
+func TestHeatmapValidate(t *testing.T) {
+	if err := smallHeatmap().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := smallHeatmap()
+	h.Z = h.Z[:1]
+	if err := h.Validate(); err == nil {
+		t.Error("row mismatch accepted")
+	}
+	h = smallHeatmap()
+	h.Z[1] = h.Z[1][:2]
+	if err := h.Validate(); err == nil {
+		t.Error("col mismatch accepted")
+	}
+	h = &Heatmap{}
+	if err := h.Validate(); err == nil {
+		t.Error("empty heatmap accepted")
+	}
+}
+
+func TestHeatmapRenderDefaultRamp(t *testing.T) {
+	out, err := smallHeatmap().RenderASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hm", "[cols: xs]", "[rows: ys", "10", "20", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap missing %q:\n%s", want, out)
+		}
+	}
+	// The largest y (20) must print before the smallest (10).
+	if strings.Index(out, "20") > strings.Index(out, "10 ") {
+		t.Error("rows not top-down")
+	}
+	// Min and max values map to the ramp's extremes.
+	if !strings.Contains(out, " ") || !strings.Contains(out, "@") {
+		t.Error("ramp extremes missing")
+	}
+}
+
+func TestHeatmapCustomCells(t *testing.T) {
+	h := smallHeatmap()
+	h.Cell = func(v float64) rune {
+		if v > 1 {
+			return 'X'
+		}
+		return 'o'
+	}
+	h.Legend = []string{"X = big, o = small"}
+	out, err := h.RenderASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "XX") || !strings.Contains(out, "oo") {
+		t.Error("custom cells missing (double-width)")
+	}
+	if !strings.Contains(out, "X = big, o = small") {
+		t.Error("legend missing")
+	}
+}
+
+func TestHeatmapConstantData(t *testing.T) {
+	h := smallHeatmap()
+	h.Z = [][]float64{{5, 5, 5}, {5, 5, 5}}
+	out, err := h.RenderASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Error("constant heatmap rendered empty")
+	}
+}
+
+func TestHeatmapRenderError(t *testing.T) {
+	h := &Heatmap{X: []float64{1}}
+	if _, err := h.RenderASCII(); err == nil {
+		t.Error("invalid heatmap rendered")
+	}
+}

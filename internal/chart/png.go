@@ -1,0 +1,178 @@
+package chart
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+)
+
+// PNG rendering: a rasterised counterpart of RenderSVG, using only the
+// standard library. Series use the same palette as the SVG output;
+// log ticks draw as light gridlines; annotations as dashed grey lines.
+
+var pngPalette = []color.RGBA{
+	{0xc0, 0x39, 0x2b, 0xff},
+	{0x29, 0x80, 0xb9, 0xff},
+	{0x27, 0xae, 0x60, 0xff},
+	{0x8e, 0x44, 0xad, 0xff},
+	{0xd3, 0x54, 0x00, 0xff},
+	{0x16, 0xa0, 0x85, 0xff},
+}
+
+const (
+	pngW      = 720
+	pngH      = 480
+	pngMargin = 48
+)
+
+// RenderPNG rasterises the chart and writes a PNG to w.
+func (c *Chart) RenderPNG(w io.Writer) error {
+	b, err := c.dataBounds()
+	if err != nil {
+		return err
+	}
+	img := image.NewRGBA(image.Rect(0, 0, pngW, pngH))
+	fill(img, color.RGBA{0xff, 0xff, 0xff, 0xff})
+
+	px := func(tx float64) int {
+		return pngMargin + int((tx-b.x0)/(b.x1-b.x0)*float64(pngW-2*pngMargin)+0.5)
+	}
+	py := func(ty float64) int {
+		return pngH - pngMargin - int((ty-b.y0)/(b.y1-b.y0)*float64(pngH-2*pngMargin)+0.5)
+	}
+
+	grey := color.RGBA{0xdd, 0xdd, 0xdd, 0xff}
+	dark := color.RGBA{0x66, 0x66, 0x66, 0xff}
+	black := color.RGBA{0, 0, 0, 0xff}
+
+	// Gridlines at log ticks.
+	if c.LogX {
+		for exp := int(math.Ceil(b.x0)); exp <= int(math.Floor(b.x1)); exp++ {
+			drawVSeg(img, px(float64(exp)), pngMargin, pngH-pngMargin, grey, false)
+		}
+	}
+	if c.LogY {
+		for exp := int(math.Ceil(b.y0)); exp <= int(math.Floor(b.y1)); exp++ {
+			drawHSeg(img, py(float64(exp)), pngMargin, pngW-pngMargin, grey, false)
+		}
+	}
+	// Annotations (dashed).
+	for _, v := range c.VLines {
+		tx, err := c.transformX(v.X)
+		if err != nil {
+			return err
+		}
+		drawVSeg(img, px(tx), pngMargin, pngH-pngMargin, dark, true)
+	}
+	for _, hl := range c.HLines {
+		ty, err := c.transformY(hl.Y)
+		if err != nil {
+			return err
+		}
+		drawHSeg(img, py(ty), pngMargin, pngW-pngMargin, dark, true)
+	}
+	// Axes.
+	drawHSeg(img, pngH-pngMargin, pngMargin, pngW-pngMargin, black, false)
+	drawVSeg(img, pngMargin, pngMargin, pngH-pngMargin, black, false)
+
+	// Series.
+	for si, s := range c.Series {
+		col := pngPalette[si%len(pngPalette)]
+		var lastX, lastY int
+		have := false
+		for i := range s.X {
+			tx, err := c.transformX(s.X[i])
+			if err != nil {
+				return err
+			}
+			ty, err := c.transformY(s.Y[i])
+			if err != nil {
+				return err
+			}
+			x, y := px(tx), py(ty)
+			if s.Line && have {
+				drawLine(img, lastX, lastY, x, y, col)
+			}
+			drawDot(img, x, y, col)
+			lastX, lastY = x, y
+			have = true
+		}
+	}
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("chart: %w", err)
+	}
+	return nil
+}
+
+func fill(img *image.RGBA, c color.RGBA) {
+	for y := img.Rect.Min.Y; y < img.Rect.Max.Y; y++ {
+		for x := img.Rect.Min.X; x < img.Rect.Max.X; x++ {
+			img.SetRGBA(x, y, c)
+		}
+	}
+}
+
+func drawHSeg(img *image.RGBA, y, x0, x1 int, c color.RGBA, dashed bool) {
+	for x := x0; x <= x1; x++ {
+		if dashed && (x/5)%2 == 1 {
+			continue
+		}
+		set(img, x, y, c)
+	}
+}
+
+func drawVSeg(img *image.RGBA, x, y0, y1 int, c color.RGBA, dashed bool) {
+	for y := y0; y <= y1; y++ {
+		if dashed && (y/5)%2 == 1 {
+			continue
+		}
+		set(img, x, y, c)
+	}
+}
+
+func drawDot(img *image.RGBA, x, y int, c color.RGBA) {
+	for dy := -2; dy <= 2; dy++ {
+		for dx := -2; dx <= 2; dx++ {
+			if dx*dx+dy*dy <= 4 {
+				set(img, x+dx, y+dy, c)
+			}
+		}
+	}
+}
+
+func drawLine(img *image.RGBA, x0, y0, x1, y1 int, c color.RGBA) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	e := dx + dy
+	for {
+		set(img, x0, y0, c)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * e
+		if e2 >= dy {
+			e += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			e += dx
+			y0 += sy
+		}
+	}
+}
+
+func set(img *image.RGBA, x, y int, c color.RGBA) {
+	if image.Pt(x, y).In(img.Rect) {
+		img.SetRGBA(x, y, c)
+	}
+}

@@ -1,0 +1,73 @@
+package chart
+
+import (
+	"bytes"
+	"image/color"
+	"image/png"
+	"testing"
+)
+
+func TestRenderPNG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := rooflineChart(t).RenderPNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := img.Bounds()
+	if bounds.Dx() != 720 || bounds.Dy() != 480 {
+		t.Errorf("dimensions = %v", bounds)
+	}
+	// The palette colours must actually appear (roofline red, arch blue),
+	// along with the white background and black axes.
+	want := map[string]color.RGBA{
+		"background": {0xff, 0xff, 0xff, 0xff},
+		"axis":       {0x00, 0x00, 0x00, 0xff},
+		"series0":    {0xc0, 0x39, 0x2b, 0xff},
+		"series1":    {0x29, 0x80, 0xb9, 0xff},
+	}
+	found := map[string]bool{}
+	for y := bounds.Min.Y; y < bounds.Max.Y; y++ {
+		for x := bounds.Min.X; x < bounds.Max.X; x++ {
+			r, g, b, _ := img.At(x, y).RGBA()
+			for name, w := range want {
+				if uint8(r>>8) == w.R && uint8(g>>8) == w.G && uint8(b>>8) == w.B {
+					found[name] = true
+				}
+			}
+		}
+	}
+	for name := range want {
+		if !found[name] {
+			t.Errorf("colour %q missing from PNG", name)
+		}
+	}
+}
+
+func TestRenderPNGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{}).RenderPNG(&buf); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c := &Chart{LogY: true, Series: []Series{{Name: "bad", X: []float64{1}, Y: []float64{-1}}}}
+	if err := c.RenderPNG(&buf); err == nil {
+		t.Error("negative log value accepted")
+	}
+}
+
+func TestRenderPNGScatterAndAnnotations(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{Name: "dots", X: []float64{1, 2, 3}, Y: []float64{3, 1, 2}}},
+		VLines: []VLine{{X: 2, Label: "mid"}},
+		HLines: []HLine{{Y: 2, Label: "cap"}},
+	}
+	var buf bytes.Buffer
+	if err := c.RenderPNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 1000 {
+		t.Errorf("PNG suspiciously small: %d bytes", buf.Len())
+	}
+}

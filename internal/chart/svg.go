@@ -1,0 +1,105 @@
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgPalette is the series colour cycle (paper figures use red for the
+// time roofline and blue for the energy arch line).
+var svgPalette = []string{"#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#d35400", "#16a085"}
+
+const (
+	svgW      = 720
+	svgH      = 480
+	svgMargin = 60
+)
+
+// RenderSVG draws the chart as a standalone SVG document.
+func (c *Chart) RenderSVG() (string, error) {
+	b, err := c.dataBounds()
+	if err != nil {
+		return "", err
+	}
+	px := func(tx float64) float64 {
+		return svgMargin + (tx-b.x0)/(b.x1-b.x0)*(svgW-2*svgMargin)
+	}
+	py := func(ty float64) float64 {
+		return svgH - svgMargin - (ty-b.y0)/(b.y1-b.y0)*(svgH-2*svgMargin)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", svgW, svgH, svgW, svgH)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="24" font-size="16" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n", svgW/2, xmlEscape(c.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", svgMargin, svgH-svgMargin, svgW-svgMargin, svgH-svgMargin)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", svgMargin, svgMargin, svgMargin, svgH-svgMargin)
+	if c.XLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n", svgW/2, svgH-16, xmlEscape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&sb, `<text x="16" y="%d" font-size="12" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 16 %d)">%s</text>`+"\n", svgH/2, svgH/2, xmlEscape(c.YLabel))
+	}
+	// Log ticks.
+	if c.LogX {
+		for exp := int(math.Ceil(b.x0)); exp <= int(math.Floor(b.x1)); exp++ {
+			x := px(float64(exp))
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ccc"/>`+"\n", x, svgMargin, x, svgH-svgMargin)
+			fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n", x, svgH-svgMargin+16, tickLabel(exp))
+		}
+	}
+	if c.LogY {
+		for exp := int(math.Ceil(b.y0)); exp <= int(math.Floor(b.y1)); exp++ {
+			y := py(float64(exp))
+			fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#eee"/>`+"\n", svgMargin, y, svgW-svgMargin, y)
+			fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-size="10" text-anchor="end" font-family="sans-serif">%s</text>`+"\n", svgMargin-6, y+3, tickLabel(exp))
+		}
+	}
+	// Annotations.
+	for _, v := range c.VLines {
+		tx, _ := c.transformX(v.X)
+		x := px(tx)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#666" stroke-dasharray="5,4"/>`+"\n", x, svgMargin, x, svgH-svgMargin)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n", x, svgMargin-6, xmlEscape(v.Label))
+	}
+	for _, hl := range c.HLines {
+		ty, _ := c.transformY(hl.Y)
+		y := py(ty)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#666" stroke-dasharray="5,4"/>`+"\n", svgMargin, y, svgW-svgMargin, y)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-size="10" text-anchor="start" font-family="sans-serif">%s</text>`+"\n", svgW-svgMargin+4, y+3, xmlEscape(hl.Label))
+	}
+	// Series.
+	for si, s := range c.Series {
+		color := svgPalette[si%len(svgPalette)]
+		if s.Line && len(s.X) > 1 {
+			var pts []string
+			for i := range s.X {
+				tx, _ := c.transformX(s.X[i])
+				ty, _ := c.transformY(s.Y[i])
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(tx), py(ty)))
+			}
+			fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", strings.Join(pts, " "), color)
+		} else {
+			for i := range s.X {
+				tx, _ := c.transformX(s.X[i])
+				ty, _ := c.transformY(s.Y[i])
+				fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(tx), py(ty), color)
+			}
+		}
+		// Legend entry.
+		ly := svgMargin + 16*si
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", svgW-svgMargin-150, ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11" font-family="sans-serif">%s</text>`+"\n", svgW-svgMargin-135, ly+9, xmlEscape(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String(), nil
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

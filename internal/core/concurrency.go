@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// Concurrency refinement: the basic model uses throughput values for
+// τ_mem, which (footnote 2 of the paper) is only valid when the
+// algorithm exposes enough memory-level parallelism to cover latency;
+// the paper defers the refined work-depth treatment to its prior work
+// and lists latency suppression as a limitation (§VII). This file adds
+// that refinement in its standard Little's-law form:
+//
+// With memory latency L seconds and c concurrent outstanding requests
+// of g bytes each, the achievable bandwidth is min(peak, c·g/L), so the
+// effective time per byte is
+//
+//	τ_mem(c) = max(τ_mem, L/(c·g)).
+//
+// Plugging τ_mem(c) into eqs. (3)–(7) gives concurrency-aware time,
+// energy, and an effective time-balance B_τ(c) = τ_mem(c)/τ_flop that
+// grows as concurrency shrinks: latency-bound codes need even more
+// intensity to stay compute-bound.
+
+// Concurrency describes the memory subsystem's latency and the
+// request granularity.
+type Concurrency struct {
+	// Latency is the memory access latency in seconds (L).
+	Latency float64
+	// Granularity is the bytes delivered per outstanding request (g),
+	// e.g. a cache line.
+	Granularity float64
+}
+
+// Validate reports whether the description is usable.
+func (c Concurrency) Validate() error {
+	if c.Latency <= 0 || c.Granularity <= 0 {
+		return errors.New("core: latency and granularity must be positive")
+	}
+	return nil
+}
+
+// EffectiveTauMem returns τ_mem(c) for inflight outstanding requests.
+func (p Params) EffectiveTauMem(cc Concurrency, inflight float64) float64 {
+	if inflight <= 0 {
+		return math.Inf(1)
+	}
+	return math.Max(p.TauMem, cc.Latency/(inflight*cc.Granularity))
+}
+
+// WithConcurrency returns a copy of the parameters whose τ_mem is the
+// concurrency-limited effective value; every roofline/arch-line/power
+// method of the copy is then concurrency-aware.
+func (p Params) WithConcurrency(cc Concurrency, inflight float64) (Params, error) {
+	if err := cc.Validate(); err != nil {
+		return Params{}, err
+	}
+	if inflight <= 0 {
+		return Params{}, errors.New("core: inflight requests must be positive")
+	}
+	q := p
+	q.TauMem = p.EffectiveTauMem(cc, inflight)
+	return q, nil
+}
+
+// RequiredConcurrency returns the smallest number of outstanding
+// requests that sustains peak bandwidth: c ≥ L/(τ_mem·g) — Little's
+// law. Below this the memory side is latency-bound.
+func (p Params) RequiredConcurrency(cc Concurrency) float64 {
+	return cc.Latency / (p.TauMem * cc.Granularity)
+}

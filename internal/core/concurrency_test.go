@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+// gtx580MemSystem is a plausible Fermi-era memory description: ~600 ns
+// effective DRAM latency at 128-byte transactions.
+func gtx580MemSystem() Concurrency {
+	return Concurrency{Latency: 600e-9, Granularity: 128}
+}
+
+func TestConcurrencyValidate(t *testing.T) {
+	if (Concurrency{Latency: 1e-7, Granularity: 64}).Validate() != nil {
+		t.Error("valid concurrency rejected")
+	}
+	if (Concurrency{Latency: 0, Granularity: 64}).Validate() == nil {
+		t.Error("zero latency accepted")
+	}
+	if (Concurrency{Latency: 1e-7, Granularity: 0}).Validate() == nil {
+		t.Error("zero granularity accepted")
+	}
+}
+
+func TestEffectiveTauMemLimits(t *testing.T) {
+	p := FromMachine(machine.GTX580(), machine.Single)
+	cc := gtx580MemSystem()
+	// Plenty of concurrency: throughput value.
+	if got := p.EffectiveTauMem(cc, 1e6); got != p.TauMem {
+		t.Errorf("saturated τmem = %v, want %v", got, p.TauMem)
+	}
+	// One outstanding request: pure latency, far slower.
+	one := p.EffectiveTauMem(cc, 1)
+	if one <= p.TauMem {
+		t.Error("single request cannot reach peak bandwidth")
+	}
+	if math.Abs(one-cc.Latency/cc.Granularity) > 1e-18 {
+		t.Errorf("latency-bound τmem = %v", one)
+	}
+	// Zero concurrency: infinite.
+	if !math.IsInf(p.EffectiveTauMem(cc, 0), 1) {
+		t.Error("zero inflight should be infinitely slow")
+	}
+}
+
+func TestRequiredConcurrencyLittlesLaw(t *testing.T) {
+	p := FromMachine(machine.GTX580(), machine.Single)
+	cc := gtx580MemSystem()
+	// 192.4 GB/s × 600 ns / 128 B ≈ 902 outstanding lines.
+	need := p.RequiredConcurrency(cc)
+	want := 192.4e9 * 600e-9 / 128
+	if math.Abs(need-want) > 1e-6*want {
+		t.Errorf("required concurrency = %v, want %v", need, want)
+	}
+	// At exactly the required concurrency the effective τmem is peak.
+	if got := p.EffectiveTauMem(cc, need); math.Abs(got-p.TauMem) > 1e-18 {
+		t.Errorf("τmem at required concurrency = %v", got)
+	}
+	// Just below, it is slower.
+	if p.EffectiveTauMem(cc, need*0.9) <= p.TauMem {
+		t.Error("sub-required concurrency should be latency-bound")
+	}
+}
+
+func TestWithConcurrencyShiftsBalance(t *testing.T) {
+	p := FromMachine(machine.GTX580(), machine.Single)
+	cc := gtx580MemSystem()
+	need := p.RequiredConcurrency(cc)
+	// Half the required concurrency doubles τmem, doubling Bτ: codes
+	// need twice the intensity to stay compute-bound.
+	q, err := p.WithConcurrency(cc, need/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.BalanceTime()-2*p.BalanceTime()) > 1e-9*p.BalanceTime() {
+		t.Errorf("Bτ at half concurrency = %v, want %v", q.BalanceTime(), 2*p.BalanceTime())
+	}
+	// A kernel compute-bound at full concurrency can become memory-
+	// bound when starved.
+	k := KernelAt(1e9, 1.5*p.BalanceTime())
+	if p.TimeBound(k) != ComputeBound {
+		t.Fatal("setup: kernel should be compute-bound at full concurrency")
+	}
+	if q.TimeBound(k) != MemoryBound {
+		t.Error("kernel should become memory-bound when latency-bound")
+	}
+	// Energy per mop is unchanged — starvation wastes time (and thus
+	// constant energy), not transfer energy.
+	if q.EpsMem != p.EpsMem {
+		t.Error("concurrency must not change energy coefficients")
+	}
+	if q.Energy(k) <= p.Energy(k) {
+		t.Error("latency-bound execution must burn more constant energy")
+	}
+}
+
+func TestWithConcurrencyErrors(t *testing.T) {
+	p := FromMachine(machine.GTX580(), machine.Single)
+	if _, err := p.WithConcurrency(Concurrency{}, 10); err == nil {
+		t.Error("invalid concurrency accepted")
+	}
+	if _, err := p.WithConcurrency(gtx580MemSystem(), 0); err == nil {
+		t.Error("zero inflight accepted")
+	}
+}
+
+func TestPropConcurrencyMonotone(t *testing.T) {
+	// More concurrency never slows anything down; τmem(c) is
+	// non-increasing and floors at the throughput value.
+	p := FromMachine(machine.CoreI7950(), machine.Double)
+	cc := Concurrency{Latency: 80e-9, Granularity: 64}
+	f := func(rc float64) bool {
+		c := 1 + math.Abs(math.Mod(rc, 1000))
+		t1 := p.EffectiveTauMem(cc, c)
+		t2 := p.EffectiveTauMem(cc, 2*c)
+		return t2 <= t1 && t2 >= p.TauMem
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrencyAwareArchline(t *testing.T) {
+	// The arch line moves with the balance point: starved memory makes
+	// the machine look more memory-hungry in time, which feeds B̂ε
+	// through the (1−η)·max(0, Bτ−I) term.
+	p := FromMachine(machine.GTX580(), machine.Double)
+	cc := gtx580MemSystem()
+	q, err := p.WithConcurrency(cc, p.RequiredConcurrency(cc)/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := p.BalanceTime() // memory-bound for q, balanced for p
+	if q.ArchlineEnergy(i) >= p.ArchlineEnergy(i) {
+		t.Error("latency starvation should reduce energy efficiency at fixed I")
+	}
+}

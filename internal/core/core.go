@@ -1,0 +1,331 @@
+// Package core implements the paper's analytic model: the time roofline
+// (eq. 3), the energy "arch line" (eqs. 4–6), the power line (eqs. 7–8),
+// the greenup condition for work–communication trade-offs (eq. 10), the
+// multi-level-memory energy refinement of §V-C, and the power-cap
+// extension discussed in §V-B.
+//
+// Everything here is a pure function of a small parameter set; all
+// quantities are float64 in base SI units (seconds, Joules, Watts,
+// flops, bytes). The simulated measurement pipeline lives elsewhere
+// (internal/sim, internal/powermon); this package is the model those
+// measurements are compared against.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+)
+
+// Params instantiates the model for one machine and precision: the four
+// per-operation costs, the constant power, and (optionally) a power cap.
+// It corresponds to one column of the paper's Table I machine parameters.
+type Params struct {
+	// TauFlop is τ_flop, seconds per arithmetic operation (throughput).
+	TauFlop float64
+	// TauMem is τ_mem, seconds per byte of slow-memory traffic.
+	TauMem float64
+	// EpsFlop is ε_flop, Joules per arithmetic operation.
+	EpsFlop float64
+	// EpsMem is ε_mem, Joules per byte of slow-memory traffic.
+	EpsMem float64
+	// Pi0 is π0, the constant power in Watts.
+	Pi0 float64
+	// PowerCap, if positive, is the maximum sustainable average power;
+	// the basic model ignores it, the Capped* methods enforce it.
+	PowerCap float64
+}
+
+// FromMachine instantiates model parameters for machine m at precision p,
+// using peak (throughput) values for the time costs exactly as the paper
+// instantiates eq. (3) from Table III.
+func FromMachine(m *machine.Machine, p machine.Precision) Params {
+	pp := m.Params(p)
+	return Params{
+		TauFlop:  1 / pp.PeakFlops,
+		TauMem:   1 / m.Bandwidth,
+		EpsFlop:  float64(pp.EnergyPerFlop),
+		EpsMem:   float64(m.EnergyPerByte),
+		Pi0:      float64(m.ConstantPower),
+		PowerCap: float64(m.PowerCap),
+	}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p Params) Validate() error {
+	if p.TauFlop <= 0 || p.TauMem <= 0 {
+		return errors.New("core: time costs must be positive")
+	}
+	if p.EpsFlop <= 0 || p.EpsMem <= 0 {
+		return errors.New("core: energy costs must be positive")
+	}
+	if p.Pi0 < 0 {
+		return errors.New("core: constant power must be non-negative")
+	}
+	if p.PowerCap < 0 {
+		return errors.New("core: power cap must be non-negative")
+	}
+	if p.PowerCap > 0 && p.PowerCap <= p.Pi0 {
+		return fmt.Errorf("core: power cap %g W not above constant power %g W", p.PowerCap, p.Pi0)
+	}
+	return nil
+}
+
+// Kernel is the paper's abstract algorithm characterization: W useful
+// arithmetic operations and Q bytes of slow-memory traffic.
+type Kernel struct {
+	W float64 // flops
+	Q float64 // bytes
+}
+
+// Intensity returns I = W/Q in flops per byte. A kernel with Q == 0 has
+// infinite intensity.
+func (k Kernel) Intensity() float64 {
+	if k.Q == 0 {
+		return math.Inf(1)
+	}
+	return k.W / k.Q
+}
+
+// KernelAt builds a kernel with the given work W and intensity I.
+func KernelAt(w, intensity float64) Kernel {
+	return Kernel{W: w, Q: w / intensity}
+}
+
+// Derived machine quantities ------------------------------------------------
+
+// BalanceTime returns B_τ = τ_mem/τ_flop in flops per byte.
+func (p Params) BalanceTime() float64 { return p.TauMem / p.TauFlop }
+
+// BalanceEnergy returns B_ε = ε_mem/ε_flop in flops per byte.
+func (p Params) BalanceEnergy() float64 { return p.EpsMem / p.EpsFlop }
+
+// BalanceGap returns the ratio B_ε/B_τ, the paper's measure of how much
+// harder energy-efficiency is than time-efficiency (§II-D).
+func (p Params) BalanceGap() float64 { return p.BalanceEnergy() / p.BalanceTime() }
+
+// Eps0 returns ε0 = π0·τ_flop, the constant energy burned in the time of
+// one flop.
+func (p Params) Eps0() float64 { return p.Pi0 * p.TauFlop }
+
+// EpsFlopHat returns ε̂_flop = ε_flop + ε0, the true energy to execute
+// one flop under constant power.
+func (p Params) EpsFlopHat() float64 { return p.EpsFlop + p.Eps0() }
+
+// EtaFlop returns η_flop = ε_flop/ε̂_flop, the constant-flop energy
+// efficiency; 1 when π0 = 0.
+func (p Params) EtaFlop() float64 { return p.EpsFlop / p.EpsFlopHat() }
+
+// PiFlop returns π_flop = ε_flop/τ_flop, the power of flop execution
+// excluding constant power.
+func (p Params) PiFlop() float64 { return p.EpsFlop / p.TauFlop }
+
+// EffectiveBalanceEnergy returns B̂ε(I), eq. (6):
+//
+//	B̂ε(I) = η_flop·B_ε + (1−η_flop)·max(0, B_τ−I).
+func (p Params) EffectiveBalanceEnergy(intensity float64) float64 {
+	eta := p.EtaFlop()
+	return eta*p.BalanceEnergy() + (1-eta)*math.Max(0, p.BalanceTime()-intensity)
+}
+
+// Costs ----------------------------------------------------------------------
+
+// TimeFlops returns T_flops = W·τ_flop.
+func (p Params) TimeFlops(k Kernel) float64 { return k.W * p.TauFlop }
+
+// TimeMem returns T_mem = Q·τ_mem.
+func (p Params) TimeMem(k Kernel) float64 { return k.Q * p.TauMem }
+
+// Time returns the total time under perfect overlap, eq. (1)/(3):
+// T = max(W·τ_flop, Q·τ_mem).
+func (p Params) Time(k Kernel) float64 {
+	return math.Max(p.TimeFlops(k), p.TimeMem(k))
+}
+
+// TimeNoOverlap returns the total time if computation and communication
+// cannot overlap: T = W·τ_flop + Q·τ_mem. The gap between Time and
+// TimeNoOverlap is the structural reason the energy curve is an arch
+// while the time curve is a roof (ablation; §II-B).
+func (p Params) TimeNoOverlap(k Kernel) float64 {
+	return p.TimeFlops(k) + p.TimeMem(k)
+}
+
+// EnergyFlops returns E_flops = W·ε_flop.
+func (p Params) EnergyFlops(k Kernel) float64 { return k.W * p.EpsFlop }
+
+// EnergyMem returns E_mem = Q·ε_mem.
+func (p Params) EnergyMem(k Kernel) float64 { return k.Q * p.EpsMem }
+
+// EnergyConstant returns E_0(T) = π0·T for the overlapped execution time.
+func (p Params) EnergyConstant(k Kernel) float64 { return p.Pi0 * p.Time(k) }
+
+// Energy returns the total energy, eq. (2)/(4):
+// E = W·ε_flop + Q·ε_mem + π0·T.
+func (p Params) Energy(k Kernel) float64 {
+	return p.EnergyFlops(k) + p.EnergyMem(k) + p.EnergyConstant(k)
+}
+
+// EnergyEq5 returns the total energy through the refactored eq. (5):
+// E = W·ε̂_flop·(1 + B̂ε(I)/I). It is algebraically identical to Energy
+// for Q > 0; the identity is enforced by property tests.
+func (p Params) EnergyEq5(k Kernel) float64 {
+	i := k.Intensity()
+	if math.IsInf(i, 1) {
+		return k.W * p.EpsFlopHat()
+	}
+	return k.W * p.EpsFlopHat() * (1 + p.EffectiveBalanceEnergy(i)/i)
+}
+
+// AveragePower returns P = E/T for the kernel.
+func (p Params) AveragePower(k Kernel) float64 {
+	return p.Energy(k) / p.Time(k)
+}
+
+// PowerLine returns the average power as a function of intensity alone,
+// eq. (7):
+//
+//	P(I) = (π_flop/η_flop)·[min(I,B_τ)/B_τ + B̂ε(I)/max(I,B_τ)].
+func (p Params) PowerLine(intensity float64) float64 {
+	bt := p.BalanceTime()
+	return p.PiFlop() / p.EtaFlop() *
+		(math.Min(intensity, bt)/bt + p.EffectiveBalanceEnergy(intensity)/math.Max(intensity, bt))
+}
+
+// MaxPower returns the model's maximum average power, attained at
+// I = B_τ; for π0 = 0 this is the eq. (8) bound π_flop·(1 + B_ε/B_τ).
+func (p Params) MaxPower() float64 { return p.PowerLine(p.BalanceTime()) }
+
+// Normalized performance curves ----------------------------------------------
+
+// PeakFlopsRate returns the best possible speed, 1/τ_flop, in FLOP/s.
+func (p Params) PeakFlopsRate() float64 { return 1 / p.TauFlop }
+
+// PeakEfficiency returns the best possible energy efficiency,
+// 1/ε̂_flop, in FLOP/J — the paper's "Peak GFLOP/J" annotations in
+// Fig. 4 divide this by 1e9.
+func (p Params) PeakEfficiency() float64 { return 1 / p.EpsFlopHat() }
+
+// RooflineTime returns normalized speed W·τ_flop/T = min(1, I/B_τ) at
+// the given intensity — the red roofline of Fig. 2a.
+func (p Params) RooflineTime(intensity float64) float64 {
+	return math.Min(1, intensity/p.BalanceTime())
+}
+
+// ArchlineEnergy returns normalized energy efficiency
+// W·ε̂_flop/E = 1/(1 + B̂ε(I)/I) at the given intensity — the smooth
+// blue arch line of Fig. 2a.
+func (p Params) ArchlineEnergy(intensity float64) float64 {
+	if intensity <= 0 {
+		return 0
+	}
+	if math.IsInf(intensity, 1) {
+		return 1
+	}
+	return 1 / (1 + p.EffectiveBalanceEnergy(intensity)/intensity)
+}
+
+// HalfEfficiencyIntensity returns the intensity at which the arch line
+// crosses y = 1/2, i.e. where B̂ε(I) = I. With π0 = 0 this is exactly
+// B_ε (§II-C: the energy-balance point is where efficiency is half of
+// its best possible value); with π0 > 0 it is the "B̂ε" balance point
+// the paper marks on Fig. 4 (e.g. 0.79 for the GTX 580 double case).
+func (p Params) HalfEfficiencyIntensity() float64 {
+	eta := p.EtaFlop()
+	be := p.BalanceEnergy()
+	bt := p.BalanceTime()
+	// Branch I >= B_τ: B̂ε(I) = η·B_ε, so I = η·B_ε if that is >= B_τ.
+	if eta*be >= bt {
+		return eta * be
+	}
+	// Branch I < B_τ: η·B_ε + (1−η)(B_τ−I) = I
+	//   ⇒ I = (η·B_ε + (1−η)·B_τ) / (2−η).
+	return (eta*be + (1-eta)*bt) / (2 - eta)
+}
+
+// RaceToHaltEffective reports the paper's race-to-halt condition
+// (§II-D, §V-B): when the effective energy-balance point lies below the
+// time-balance point, any kernel that is compute-bound in time is
+// already within a factor of two of optimal energy efficiency, so
+// running flat-out and halting is a sound energy strategy.
+func (p Params) RaceToHaltEffective() bool {
+	return p.HalfEfficiencyIntensity() < p.BalanceTime()
+}
+
+// BoundState classifies a kernel against a balance point.
+type BoundState int
+
+const (
+	// MemoryBound means intensity below the balance point.
+	MemoryBound BoundState = iota
+	// ComputeBound means intensity at or above the balance point.
+	ComputeBound
+)
+
+// String implements fmt.Stringer.
+func (b BoundState) String() string {
+	if b == ComputeBound {
+		return "compute-bound"
+	}
+	return "memory-bound"
+}
+
+// TimeBound classifies the kernel with respect to time (I vs B_τ).
+func (p Params) TimeBound(k Kernel) BoundState {
+	if k.Intensity() >= p.BalanceTime() {
+		return ComputeBound
+	}
+	return MemoryBound
+}
+
+// EnergyBound classifies the kernel with respect to energy
+// (I vs the half-efficiency intensity).
+func (p Params) EnergyBound(k Kernel) BoundState {
+	if k.Intensity() >= p.HalfEfficiencyIntensity() {
+		return ComputeBound
+	}
+	return MemoryBound
+}
+
+// Power-cap extension (§V-B) ---------------------------------------------------
+
+// CappedTime returns the execution time once the power cap is enforced.
+// If the uncapped average power stays at or below the cap (or no cap is
+// set), this equals Time. Otherwise the machine must throttle: dynamic
+// energy is unchanged, constant power keeps burning, and time stretches
+// until average power equals the cap:
+//
+//	T' = (W·ε_flop + Q·ε_mem) / (cap − π0).
+func (p Params) CappedTime(k Kernel) float64 {
+	t := p.Time(k)
+	if p.PowerCap <= 0 {
+		return t
+	}
+	if p.Energy(k)/t <= p.PowerCap {
+		return t
+	}
+	return (p.EnergyFlops(k) + p.EnergyMem(k)) / (p.PowerCap - p.Pi0)
+}
+
+// CappedEnergy returns the total energy with the power cap enforced.
+func (p Params) CappedEnergy(k Kernel) float64 {
+	return p.EnergyFlops(k) + p.EnergyMem(k) + p.Pi0*p.CappedTime(k)
+}
+
+// CappedPower returns the average power with the cap enforced; never
+// exceeds the cap when one is set.
+func (p Params) CappedPower(k Kernel) float64 {
+	return p.CappedEnergy(k) / p.CappedTime(k)
+}
+
+// CappedPowerLine is the power line with the cap folded in:
+// min(P(I), cap) when a cap is set — the curve the measured Fig. 5b
+// data actually follows on the GTX 580.
+func (p Params) CappedPowerLine(intensity float64) float64 {
+	pl := p.PowerLine(intensity)
+	if p.PowerCap > 0 && pl > p.PowerCap {
+		return p.PowerCap
+	}
+	return pl
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func fermi() Params {
+	return FromMachine(machine.FermiTableII(), machine.Double)
+}
+
+func TestTableIIDerived(t *testing.T) {
+	p := fermi()
+	// Table II: τflop ≈ 1.9 ps, τmem ≈ 6.9 ps, Bτ ≈ 3.6, Bε = 14.4.
+	approx(t, "τflop (ps)", p.TauFlop*1e12, 1.94, 0.01)
+	approx(t, "τmem (ps)", p.TauMem*1e12, 6.94, 0.01)
+	approx(t, "Bτ", p.BalanceTime(), 3.576, 0.01)
+	approx(t, "Bε", p.BalanceEnergy(), 14.4, 1e-9)
+	approx(t, "balance gap", p.BalanceGap(), 14.4/3.576, 0.01)
+	// π0 = 0 ⇒ η = 1, ε̂ = ε.
+	approx(t, "η", p.EtaFlop(), 1, 1e-15)
+	approx(t, "ε̂ (pJ)", p.EpsFlopHat()*1e12, 25, 1e-9)
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeModel(t *testing.T) {
+	p := fermi()
+	// Memory-bound kernel: I = 1 < Bτ.
+	k := KernelAt(1e9, 1)
+	approx(t, "T memory-bound", p.Time(k), k.Q*p.TauMem, 1e-15)
+	if p.TimeBound(k) != MemoryBound {
+		t.Error("I=1 should be memory-bound in time")
+	}
+	// Compute-bound: I = 100 > Bτ.
+	k = KernelAt(1e9, 100)
+	approx(t, "T compute-bound", p.Time(k), k.W*p.TauFlop, 1e-15)
+	if p.TimeBound(k) != ComputeBound {
+		t.Error("I=100 should be compute-bound in time")
+	}
+	// Eq. (3) closed form: T = W·τflop·max(1, Bτ/I).
+	for _, i := range []float64{0.25, 1, 3.576, 10, 512} {
+		k := KernelAt(1e9, i)
+		want := k.W * p.TauFlop * math.Max(1, p.BalanceTime()/i)
+		approx(t, "eq3", p.Time(k), want, want*1e-12)
+	}
+	// No-overlap ablation is always at least the overlapped time and at
+	// most twice it.
+	k = KernelAt(1e9, p.BalanceTime())
+	if p.TimeNoOverlap(k) < p.Time(k) || p.TimeNoOverlap(k) > 2*p.Time(k) {
+		t.Errorf("no-overlap time out of range: %v vs %v", p.TimeNoOverlap(k), p.Time(k))
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	p := FromMachine(machine.GTX580(), machine.Double)
+	k := KernelAt(1e9, 2)
+	// Eq. (4) components.
+	wantFlops := k.W * p.EpsFlop
+	wantMem := k.Q * p.EpsMem
+	wantConst := p.Pi0 * p.Time(k)
+	approx(t, "Eflops", p.EnergyFlops(k), wantFlops, wantFlops*1e-12)
+	approx(t, "Emem", p.EnergyMem(k), wantMem, wantMem*1e-12)
+	approx(t, "E0", p.EnergyConstant(k), wantConst, wantConst*1e-12)
+	total := wantFlops + wantMem + wantConst
+	approx(t, "E", p.Energy(k), total, total*1e-12)
+}
+
+func TestEq5EqualsEq4(t *testing.T) {
+	for _, m := range []*machine.Machine{machine.GTX580(), machine.CoreI7950(), machine.FermiTableII()} {
+		for _, prec := range []machine.Precision{machine.Single, machine.Double} {
+			p := FromMachine(m, prec)
+			for _, i := range []float64{1.0 / 16, 0.5, 1, p.BalanceTime(), 4, 64, 1024} {
+				k := KernelAt(1e9, i)
+				e4 := p.Energy(k)
+				e5 := p.EnergyEq5(k)
+				if math.Abs(e4-e5) > 1e-9*e4 {
+					t.Errorf("%s/%v I=%v: eq4 %v != eq5 %v", m.Name, prec, i, e4, e5)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroQKernel(t *testing.T) {
+	p := FromMachine(machine.GTX580(), machine.Double)
+	k := Kernel{W: 1e9, Q: 0}
+	if !math.IsInf(k.Intensity(), 1) {
+		t.Error("Q=0 should have infinite intensity")
+	}
+	// Energy degenerates to W·ε̂flop via both formulations.
+	approx(t, "E(Q=0) eq4", p.Energy(k), k.W*p.EpsFlopHat(), 1e-6*k.W*p.EpsFlopHat())
+	approx(t, "E(Q=0) eq5", p.EnergyEq5(k), k.W*p.EpsFlopHat(), 1e-6*k.W*p.EpsFlopHat())
+}
+
+// The balance points and peak efficiencies annotated in Fig. 4.
+func TestFig4BalanceAnnotations(t *testing.T) {
+	cases := []struct {
+		name                       string
+		m                          *machine.Machine
+		prec                       machine.Precision
+		bt, beConst0, beHalf, peak float64 // Bτ, Bε(π0=0), B̂ε at y=1/2, peak GFLOP/J
+	}{
+		{"GTX580 double", machine.GTX580(), machine.Double, 1.0, 2.4, 0.79, 1.2},
+		{"i7-950 double", machine.CoreI7950(), machine.Double, 2.1, 1.2, 1.1, 0.34},
+		{"GTX580 single", machine.GTX580(), machine.Single, 8.2, 5.1, 4.5, 5.7},
+		{"i7-950 single", machine.CoreI7950(), machine.Single, 4.2, 2.1, 2.1, 0.66},
+	}
+	for _, c := range cases {
+		p := FromMachine(c.m, c.prec)
+		approx(t, c.name+" Bτ", p.BalanceTime(), c.bt, 0.05*c.bt+0.05)
+		approx(t, c.name+" Bε(π0=0)", p.BalanceEnergy(), c.beConst0, 0.05*c.beConst0)
+		approx(t, c.name+" B̂ε(y=1/2)", p.HalfEfficiencyIntensity(), c.beHalf, 0.05*c.beHalf)
+		approx(t, c.name+" peak GFLOP/J", p.PeakEfficiency()/1e9, c.peak, 0.05*c.peak)
+	}
+}
+
+// Fig. 4 peak speeds: 200 / 53 GFLOP/s double, 1600 / 110 single.
+func TestFig4PeakSpeeds(t *testing.T) {
+	gd := FromMachine(machine.GTX580(), machine.Double)
+	approx(t, "GPU DP peak GFLOP/s", gd.PeakFlopsRate()/1e9, 197.63, 1e-6)
+	cd := FromMachine(machine.CoreI7950(), machine.Double)
+	approx(t, "CPU DP peak GFLOP/s", cd.PeakFlopsRate()/1e9, 53.28, 1e-6)
+	gs := FromMachine(machine.GTX580(), machine.Single)
+	approx(t, "GPU SP peak GFLOP/s", gs.PeakFlopsRate()/1e9, 1581.06, 1e-6)
+	cs := FromMachine(machine.CoreI7950(), machine.Single)
+	approx(t, "CPU SP peak GFLOP/s", cs.PeakFlopsRate()/1e9, 106.56, 1e-6)
+}
+
+func TestRooflineShape(t *testing.T) {
+	p := fermi()
+	bt := p.BalanceTime()
+	// Exactly 1 at and above the balance point.
+	if p.RooflineTime(bt) != 1 || p.RooflineTime(1000) != 1 {
+		t.Error("roofline must saturate at 1")
+	}
+	// Linear below: half performance at half the balance point.
+	approx(t, "roofline linear region", p.RooflineTime(bt/2), 0.5, 1e-12)
+	// The roofline has a sharp inflection; the arch line is smooth and
+	// strictly below 1 at Bτ when Bε > 0.
+	if p.ArchlineEnergy(bt) >= 1 {
+		t.Error("arch line must be < 1 at finite intensity")
+	}
+}
+
+func TestArchlineHalfAtBalanceEnergyWhenPi0Zero(t *testing.T) {
+	p := fermi() // π0 = 0
+	// §II-C: with π0 = 0 the energy-balance point is where efficiency is
+	// exactly half the best possible.
+	approx(t, "arch(Bε)", p.ArchlineEnergy(p.BalanceEnergy()), 0.5, 1e-12)
+	approx(t, "half-efficiency intensity", p.HalfEfficiencyIntensity(), p.BalanceEnergy(), 1e-12)
+	// Edge values.
+	if p.ArchlineEnergy(0) != 0 {
+		t.Error("arch(0) should be 0")
+	}
+	if p.ArchlineEnergy(math.Inf(1)) != 1 {
+		t.Error("arch(inf) should be 1")
+	}
+}
+
+func TestPowerLineFig2b(t *testing.T) {
+	p := fermi()
+	bt := p.BalanceTime()
+	pf := p.PiFlop()
+	// Fig. 2b annotations (π0 = 0): memory-bound limit P/πflop → 1+Bε/Bτ...
+	// actually at I→0 the powerline tends to πflop·Bε/Bτ = 4.0; at I→∞ it
+	// tends to πflop (y = 1); the maximum, at I = Bτ, is πflop·(1+Bε/Bτ) = 5.0.
+	gap := p.BalanceGap()
+	approx(t, "P(I→∞)/πflop", p.PowerLine(1e9)/pf, 1, 1e-6)
+	approx(t, "P(I→0)/πflop", p.PowerLine(1e-9)/pf, gap, 1e-6)
+	approx(t, "P(Bτ)/πflop", p.PowerLine(bt)/pf, 1+gap, 1e-12)
+	approx(t, "max power", p.MaxPower(), pf*(1+gap), 1e-12)
+	approx(t, "gap value", gap, 4.0262, 0.01)
+	// Power is maximised at I = Bτ.
+	for _, i := range []float64{bt / 8, bt / 2, bt * 2, bt * 64} {
+		if p.PowerLine(i) > p.MaxPower()+1e-12 {
+			t.Errorf("power at I=%v exceeds the I=Bτ maximum", i)
+		}
+	}
+}
+
+func TestPowerLineMatchesEnergyOverTime(t *testing.T) {
+	// Eq. (7) was derived as eq. (5)/eq. (3); check the identity.
+	for _, m := range []*machine.Machine{machine.GTX580(), machine.CoreI7950()} {
+		for _, prec := range []machine.Precision{machine.Single, machine.Double} {
+			p := FromMachine(m, prec)
+			for _, i := range []float64{0.25, 1, p.BalanceTime(), 16, 256} {
+				k := KernelAt(1e9, i)
+				direct := p.Energy(k) / p.Time(k)
+				line := p.PowerLine(i)
+				if math.Abs(direct-line) > 1e-9*direct {
+					t.Errorf("%s/%v I=%v: P direct %v != powerline %v", m.Name, prec, i, direct, line)
+				}
+			}
+		}
+	}
+}
+
+// Fig. 5b: the model demands 387 W on the GTX 580 in single precision
+// near Bτ, above the 244 W rating and above the hard throttle limit.
+func TestGTX580SinglePowerExceedsCap(t *testing.T) {
+	m := machine.GTX580()
+	p := FromMachine(m, machine.Single)
+	maxP := p.MaxPower()
+	approx(t, "GTX580 SP max model power", maxP, 387, 25)
+	if maxP <= float64(m.RatedPower) {
+		t.Fatalf("model max power %v should exceed the 244 W rating", maxP)
+	}
+	if maxP <= p.PowerCap {
+		t.Fatalf("model max power %v should exceed the hard cap %v", maxP, p.PowerCap)
+	}
+	// Capped execution never exceeds the cap and stretches time.
+	k := KernelAt(1e12, p.BalanceTime())
+	if got := p.CappedPower(k); got > p.PowerCap+1e-9 {
+		t.Errorf("capped power %v exceeds cap", got)
+	}
+	if p.CappedTime(k) <= p.Time(k) {
+		t.Error("throttled execution must be slower")
+	}
+	if p.CappedEnergy(k) <= p.Energy(k) {
+		t.Error("throttling burns extra constant energy")
+	}
+}
+
+func TestCapInactiveWhenBelow(t *testing.T) {
+	// Very compute-bound double-precision work keeps power below 244 W.
+	p := FromMachine(machine.GTX580(), machine.Double)
+	k := KernelAt(1e12, 1e6)
+	if p.CappedTime(k) != p.Time(k) {
+		t.Error("cap should be inactive for low-power work")
+	}
+	approx(t, "capped == uncapped energy", p.CappedEnergy(k), p.Energy(k), 1e-6*p.Energy(k))
+	// Uncapped machine: cap never applies.
+	p2 := FromMachine(machine.CoreI7950(), machine.Single)
+	k2 := KernelAt(1e12, p2.BalanceTime())
+	if p2.CappedTime(k2) != p2.Time(k2) {
+		t.Error("uncapped machine must not throttle")
+	}
+}
+
+func TestRaceToHalt(t *testing.T) {
+	// §V-B: on all four measured platform/precision cases, the y=1/2
+	// energy-balance point lies below Bτ, so race-to-halt works.
+	for _, c := range []struct {
+		m    *machine.Machine
+		prec machine.Precision
+	}{
+		{machine.GTX580(), machine.Single},
+		{machine.GTX580(), machine.Double},
+		{machine.CoreI7950(), machine.Single},
+		{machine.CoreI7950(), machine.Double},
+	} {
+		p := FromMachine(c.m, c.prec)
+		if !p.RaceToHaltEffective() {
+			t.Errorf("%s/%v: race-to-halt should be effective", c.m.Name, c.prec)
+		}
+	}
+	// With π0 → 0 the GPU double case reverses (Bε = 2.4 > Bτ = 1.0).
+	p := FromMachine(machine.GTX580(), machine.Double)
+	p.Pi0 = 0
+	if p.RaceToHaltEffective() {
+		t.Error("GTX580 double with π0=0 should NOT favour race-to-halt")
+	}
+	// But the CPU does not reverse even at π0 = 0 (Bε = 1.2 < Bτ = 2.1).
+	pc := FromMachine(machine.CoreI7950(), machine.Double)
+	pc.Pi0 = 0
+	if !pc.RaceToHaltEffective() {
+		t.Error("i7-950 double with π0=0 should still favour race-to-halt")
+	}
+}
+
+func TestBoundClassification(t *testing.T) {
+	p := FromMachine(machine.GTX580(), machine.Double)
+	// §II-D: an algorithm with Bτ < I < Bε(π0=0) is compute-bound in
+	// time and memory-bound in energy. Use the π0=0 variant.
+	p.Pi0 = 0
+	i := (p.BalanceTime() + p.BalanceEnergy()) / 2
+	k := KernelAt(1e9, i)
+	if p.TimeBound(k) != ComputeBound {
+		t.Error("should be compute-bound in time")
+	}
+	if p.EnergyBound(k) != MemoryBound {
+		t.Error("should be memory-bound in energy")
+	}
+	if MemoryBound.String() != "memory-bound" || ComputeBound.String() != "compute-bound" {
+		t.Error("bound state strings")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := fermi()
+	bad := []func(*Params){
+		func(p *Params) { p.TauFlop = 0 },
+		func(p *Params) { p.TauMem = -1 },
+		func(p *Params) { p.EpsFlop = 0 },
+		func(p *Params) { p.EpsMem = -2 },
+		func(p *Params) { p.Pi0 = -1 },
+		func(p *Params) { p.PowerCap = -1 },
+		func(p *Params) { p.Pi0 = 100; p.PowerCap = 50 },
+	}
+	for i, mod := range bad {
+		p := base
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestKernelAt(t *testing.T) {
+	k := KernelAt(100, 4)
+	if k.W != 100 || k.Q != 25 {
+		t.Errorf("KernelAt = %+v", k)
+	}
+	approx(t, "intensity round trip", k.Intensity(), 4, 1e-15)
+}
+
+func TestCappedPowerLine(t *testing.T) {
+	p := FromMachine(machine.GTX580(), machine.Single)
+	bt := p.BalanceTime()
+	// Near the balance point the uncapped line exceeds the cap; the
+	// capped line clips there and coincides elsewhere.
+	if p.CappedPowerLine(bt) != p.PowerCap {
+		t.Errorf("capped line at Bτ = %v, want the cap %v", p.CappedPowerLine(bt), p.PowerCap)
+	}
+	if p.CappedPowerLine(1e6) != p.PowerLine(1e6) {
+		t.Error("capped line should match uncapped away from the peak")
+	}
+	// No cap: identical everywhere.
+	q := FromMachine(machine.CoreI7950(), machine.Single)
+	for _, i := range []float64{0.5, q.BalanceTime(), 64} {
+		if q.CappedPowerLine(i) != q.PowerLine(i) {
+			t.Error("uncapped machine lines must coincide")
+		}
+	}
+}

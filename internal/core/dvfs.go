@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// DVFS extension: the paper frames race-to-halt (§II-D, §V-B) and the
+// DVFS literature (§VI) as strategies the balance gap arbitrates. This
+// file makes that quantitative under the standard voltage-frequency
+// coupling: scaling the compute clock by s ∈ (0, 1] stretches the time
+// per flop by 1/s and scales the dynamic energy per flop by s²
+// (E ∝ V² with V ∝ f), while memory throughput, memory energy, and
+// constant power are unaffected:
+//
+//	T(s) = max(W·τflop/s, Q·τmem)
+//	E(s) = W·εflop·s² + Q·εmem + π0·T(s)
+//
+// Minimising E(s) in the compute-bound regime yields the closed form
+//
+//	s* = (ε0 / (2·εflop))^(1/3),   ε0 = π0·τflop,
+//
+// so race-to-halt (s* ≥ 1) is exactly the condition ε0 ≥ 2·εflop: the
+// constant energy burned per flop-time must dominate twice the flop's
+// dynamic energy. With π0 = 0 the optimum is always the slowest
+// available clock — the analytic counterpart of the reversal the paper
+// predicts when architects drive constant power to zero.
+
+// TimeAtFreq returns T(s) for clock scale s ∈ (0, 1].
+func (p Params) TimeAtFreq(k Kernel, s float64) float64 {
+	return math.Max(k.W*p.TauFlop/s, k.Q*p.TauMem)
+}
+
+// EnergyAtFreq returns E(s) for clock scale s ∈ (0, 1].
+func (p Params) EnergyAtFreq(k Kernel, s float64) float64 {
+	return k.W*p.EpsFlop*s*s + k.Q*p.EpsMem + p.Pi0*p.TimeAtFreq(k, s)
+}
+
+// PowerAtFreq returns the average power E(s)/T(s).
+func (p Params) PowerAtFreq(k Kernel, s float64) float64 {
+	return p.EnergyAtFreq(k, s) / p.TimeAtFreq(k, s)
+}
+
+// CriticalFreqScale returns s* = (ε0/(2·εflop))^(1/3), the unclamped
+// stationary point of E(s) in the compute-bound regime.
+func (p Params) CriticalFreqScale() float64 {
+	return math.Cbrt(p.Eps0() / (2 * p.EpsFlop))
+}
+
+// OptimalFreqScale minimises E(s) over s ∈ [sMin, 1] and returns the
+// minimiser and its energy. E(s) is piecewise smooth with one interior
+// stationary point per piece, so the minimum is attained at one of:
+// the bounds, the compute-bound stationary point s*, or the regime
+// boundary s = I/Bτ (where the kernel switches between compute- and
+// memory-bound under scaling).
+func (p Params) OptimalFreqScale(k Kernel, sMin float64) (s, energy float64, err error) {
+	if sMin <= 0 || sMin > 1 {
+		return 0, 0, errors.New("core: sMin must be in (0, 1]")
+	}
+	if k.W <= 0 {
+		return 0, 0, errors.New("core: kernel must have positive work")
+	}
+	candidates := []float64{sMin, 1}
+	if star := p.CriticalFreqScale(); star > sMin && star < 1 {
+		candidates = append(candidates, star)
+	}
+	// Regime boundary: W·τflop/s = Q·τmem ⇒ s = I/Bτ (for finite I).
+	if k.Q > 0 {
+		if edge := k.Intensity() / p.BalanceTime(); edge > sMin && edge < 1 {
+			candidates = append(candidates, edge)
+		}
+	}
+	best := math.Inf(1)
+	bestS := sMin
+	for _, c := range candidates {
+		if e := p.EnergyAtFreq(k, c); e < best {
+			best, bestS = e, c
+		}
+	}
+	return bestS, best, nil
+}
+
+// RaceToHaltOptimalDVFS reports whether running at full clock minimises
+// energy for this kernel under the DVFS model (given the slowest
+// available scale sMin).
+func (p Params) RaceToHaltOptimalDVFS(k Kernel, sMin float64) (bool, error) {
+	s, _, err := p.OptimalFreqScale(k, sMin)
+	if err != nil {
+		return false, err
+	}
+	return s == 1, nil
+}

@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// The basic workflow: instantiate the model for a platform, then ask
+// for the time, energy, and power of an abstract kernel.
+func ExampleFromMachine() {
+	p := core.FromMachine(machine.FermiTableII(), machine.Double)
+	fmt.Printf("Bτ = %.2f flop/byte\n", p.BalanceTime())
+	fmt.Printf("Bε = %.2f flop/byte\n", p.BalanceEnergy())
+	// Output:
+	// Bτ = 3.58 flop/byte
+	// Bε = 14.40 flop/byte
+}
+
+// Eq. (3): time under perfect overlap for a memory-bound kernel.
+func ExampleParams_Time() {
+	p := core.FromMachine(machine.FermiTableII(), machine.Double)
+	k := core.KernelAt(1e9, 1) // 1 Gflop at 1 flop/byte: memory-bound
+	fmt.Printf("T = %.4f s\n", p.Time(k))
+	fmt.Printf("bound: %v\n", p.TimeBound(k))
+	// Output:
+	// T = 0.0069 s
+	// bound: memory-bound
+}
+
+// The arch line (eq. 5 normalized): half efficiency exactly at Bε when
+// π0 = 0.
+func ExampleParams_ArchlineEnergy() {
+	p := core.FromMachine(machine.FermiTableII(), machine.Double)
+	fmt.Printf("efficiency at Bε: %.2f\n", p.ArchlineEnergy(p.BalanceEnergy()))
+	fmt.Printf("efficiency at 8×Bε: %.2f\n", p.ArchlineEnergy(8*p.BalanceEnergy()))
+	// Output:
+	// efficiency at Bε: 0.50
+	// efficiency at 8×Bε: 0.89
+}
+
+// Eq. (10): how much extra work a traffic-halving redesign may spend
+// and still save energy.
+func ExampleParams_GreenupConditionRHS() {
+	p := core.FromMachine(machine.FermiTableII(), machine.Double)
+	p.Pi0 = 0
+	fstar := p.GreenupConditionRHS(2, 4) // baseline I = 2, m = 4
+	fmt.Printf("greenup requires f < %.1f\n", fstar)
+	// Output:
+	// greenup requires f < 6.4
+}
+
+// The race-to-halt question, per §V-B: on the measured GTX 580 the
+// effective energy balance sits below the time balance, so racing wins;
+// drive π0 to zero and the verdict flips.
+func ExampleParams_RaceToHaltEffective() {
+	p := core.FromMachine(machine.GTX580(), machine.Double)
+	fmt.Println("today:", p.RaceToHaltEffective())
+	p.Pi0 = 0
+	fmt.Println("π0=0:", p.RaceToHaltEffective())
+	// Output:
+	// today: true
+	// π0=0: false
+}
+
+// DVFS: the closed-form optimal clock for compute-bound work is
+// s* = (ε0/2εflop)^(1/3), clamped to the available range.
+func ExampleParams_OptimalFreqScale() {
+	p := core.FromMachine(machine.GTX580(), machine.Double)
+	k := core.KernelAt(1e10, 1e6)
+	s, _, err := p.OptimalFreqScale(k, 0.2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal clock scale: %.1f\n", s)
+	// Output:
+	// optimal clock scale: 1.0
+}

@@ -1,0 +1,104 @@
+package core
+
+import "errors"
+
+// Frame analysis: the race-to-halt literature the paper cites ([15])
+// poses the real scheduling question — a job must finish within a frame
+// of F seconds, and the machine idles (at idle power) for whatever is
+// left. Two strategies compete:
+//
+//   - Race: run flat-out, then idle. E = E(k) + P_idle·(F − T(k)).
+//   - Pace (DVFS): stretch the job to fill the frame at the slowest
+//     sufficient clock. E = E(s_F) with T(s_F) = F.
+//
+// The balance between π0 (burned while running), the idle power
+// (burned while parked), and the s² dynamic-energy saving decides the
+// winner; the paper's "race-to-halt works today" claim corresponds to
+// idle power being low relative to the constant power of an active
+// machine.
+
+// FrameStrategy identifies a frame-execution policy.
+type FrameStrategy int
+
+const (
+	// Race runs at full clock and idles out the frame.
+	Race FrameStrategy = iota
+	// Pace stretches the job across the frame via DVFS.
+	Pace
+)
+
+// String implements fmt.Stringer.
+func (s FrameStrategy) String() string {
+	if s == Pace {
+		return "pace"
+	}
+	return "race-to-halt"
+}
+
+// FrameEnergyRace returns the energy of racing through kernel k and
+// idling (at idlePower Watts) for the rest of an F-second frame.
+// F must cover the kernel's full-speed execution time.
+func (p Params) FrameEnergyRace(k Kernel, frame, idlePower float64) (float64, error) {
+	t := p.Time(k)
+	if frame < t {
+		return 0, errors.New("core: frame shorter than the kernel's full-speed time")
+	}
+	if idlePower < 0 {
+		return 0, errors.New("core: negative idle power")
+	}
+	return p.Energy(k) + idlePower*(frame-t), nil
+}
+
+// FrameEnergyPace returns the energy of stretching kernel k across the
+// whole frame at the slowest sufficient clock. The required scale is
+// s_F = W·τflop / frame when the compute side is the stretchable part;
+// a frame longer than the memory-bound time but shorter than what the
+// slowest clock produces is filled with idle after the paced run.
+func (p Params) FrameEnergyPace(k Kernel, frame, idlePower, sMin float64) (float64, error) {
+	if frame < p.Time(k) {
+		return 0, errors.New("core: frame shorter than the kernel's full-speed time")
+	}
+	if idlePower < 0 {
+		return 0, errors.New("core: negative idle power")
+	}
+	if sMin <= 0 || sMin > 1 {
+		return 0, errors.New("core: sMin must be in (0, 1]")
+	}
+	// Slowest clock that still meets the frame: T(s) = max(Wτf/s, Qτm) ≤ F.
+	s := k.W * p.TauFlop / frame
+	if s < sMin {
+		s = sMin
+	}
+	if s > 1 {
+		s = 1
+	}
+	t := p.TimeAtFreq(k, s)
+	// s = W·τflop/frame makes t equal the frame up to rounding; treat
+	// sub-ppb overshoot as an exact fill.
+	if t > frame*(1+1e-9) {
+		// Cannot happen for frame >= Time(k) — slowing compute never
+		// hurts the memory side — but guard against misuse.
+		return 0, errors.New("core: paced execution misses the frame")
+	}
+	if t > frame {
+		t = frame
+	}
+	return p.EnergyAtFreq(k, s) + idlePower*(frame-t), nil
+}
+
+// BestFrameStrategy compares racing and pacing for kernel k in an
+// F-second frame and returns the winner with both energies.
+func (p Params) BestFrameStrategy(k Kernel, frame, idlePower, sMin float64) (FrameStrategy, float64, float64, error) {
+	race, err := p.FrameEnergyRace(k, frame, idlePower)
+	if err != nil {
+		return Race, 0, 0, err
+	}
+	pace, err := p.FrameEnergyPace(k, frame, idlePower, sMin)
+	if err != nil {
+		return Race, 0, 0, err
+	}
+	if race <= pace {
+		return Race, race, pace, nil
+	}
+	return Pace, race, pace, nil
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func TestFrameStrategyStrings(t *testing.T) {
+	if Race.String() != "race-to-halt" || Pace.String() != "pace" {
+		t.Error("strategy strings")
+	}
+}
+
+func TestFrameEnergyRaceAccounting(t *testing.T) {
+	p := FromMachine(machine.GTX580(), machine.Double)
+	k := KernelAt(1e10, 100)
+	tRun := p.Time(k)
+	frame := 2 * tRun
+	const idle = 39.6 // the paper's measured GTX 580 idle power
+	e, err := p.FrameEnergyRace(k, frame, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Energy(k) + idle*(frame-tRun)
+	if math.Abs(e-want) > 1e-9*want {
+		t.Errorf("race frame energy = %v, want %v", e, want)
+	}
+	// Errors.
+	if _, err := p.FrameEnergyRace(k, tRun/2, idle); err == nil {
+		t.Error("short frame accepted")
+	}
+	if _, err := p.FrameEnergyRace(k, frame, -1); err == nil {
+		t.Error("negative idle accepted")
+	}
+}
+
+func TestFrameEnergyPaceFillsFrame(t *testing.T) {
+	p := FromMachine(machine.GTX580(), machine.Double)
+	p.Pi0 = 0 // make pacing clearly attractive
+	k := KernelAt(1e10, 1e6)
+	tRun := p.Time(k)
+	frame := 2 * tRun
+	e, err := p.FrameEnergyPace(k, frame, 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pacing at s = 1/2 quarters the dynamic flop energy.
+	want := p.EnergyAtFreq(k, 0.5)
+	if math.Abs(e-want) > 1e-9*want {
+		t.Errorf("pace energy = %v, want %v", e, want)
+	}
+	// sMin floors the stretch: a very long frame with sMin = 0.5 runs
+	// at 0.5 and idles the remainder.
+	frame = 10 * tRun
+	e, err = p.FrameEnergyPace(k, frame, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = p.EnergyAtFreq(k, 0.5) + 5*(frame-p.TimeAtFreq(k, 0.5))
+	if math.Abs(e-want) > 1e-9*want {
+		t.Errorf("floored pace energy = %v, want %v", e, want)
+	}
+	// Error paths.
+	if _, err := p.FrameEnergyPace(k, tRun/2, 0, 0.5); err == nil {
+		t.Error("short frame accepted")
+	}
+	if _, err := p.FrameEnergyPace(k, frame, -1, 0.5); err == nil {
+		t.Error("negative idle accepted")
+	}
+	if _, err := p.FrameEnergyPace(k, frame, 0, 0); err == nil {
+		t.Error("sMin=0 accepted")
+	}
+}
+
+func TestBestFrameStrategyRegimes(t *testing.T) {
+	// Today's GTX 580: active constant power 122 W, idle 39.6 W —
+	// racing into the low-power idle state wins.
+	p := FromMachine(machine.GTX580(), machine.Double)
+	k := KernelAt(1e10, 1e6)
+	frame := 2 * p.Time(k)
+	strat, race, pace, err := p.BestFrameStrategy(k, frame, 39.6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strat != Race {
+		t.Errorf("GTX 580 frame: %v (race %v, pace %v)", strat, race, pace)
+	}
+	// A machine with π0 = 0 and idle power equal to nothing saved by
+	// halting (idle = π0-like draw even when "halted"): pacing wins by
+	// cutting dynamic energy.
+	p0 := p
+	p0.Pi0 = 0
+	strat, race, pace, err = p0.BestFrameStrategy(k, frame, 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strat != Pace {
+		t.Errorf("π0=0 frame: %v (race %v, pace %v)", strat, race, pace)
+	}
+	if pace >= race {
+		t.Error("pace should beat race when constant and idle power vanish")
+	}
+	// Propagates errors.
+	if _, _, _, err := p.BestFrameStrategy(k, 0, 0, 0.5); err == nil {
+		t.Error("impossible frame accepted")
+	}
+}
+
+func TestPropFrameEnergiesBounded(t *testing.T) {
+	// Both strategies cost at least the kernel's dynamic minimum and
+	// the best strategy is by construction the cheaper one.
+	f := func(a, b, c, ri, rf float64) bool {
+		p := randParams(a, b, c)
+		k := KernelAt(1e9, randIntensity(ri))
+		frame := p.Time(k) * (1 + math.Abs(math.Mod(rf, 4)))
+		idle := p.Pi0 * 0.3
+		strat, race, pace, err := p.BestFrameStrategy(k, frame, idle, 0.1)
+		if err != nil {
+			return false
+		}
+		floor := k.Q * p.EpsMem // irreducible transfer energy
+		if race < floor || pace < floor {
+			return false
+		}
+		if strat == Race {
+			return race <= pace
+		}
+		return pace < race
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameIdlePowerTipsTheScale(t *testing.T) {
+	// Same machine, same kernel, same frame: cheap idle favours racing,
+	// expensive idle favours pacing (there is nowhere good to hide).
+	p := FromMachine(machine.GTX580(), machine.Double)
+	p.Pi0 = 30 // modest active constant power so pacing can compete
+	k := KernelAt(1e10, 1e6)
+	frame := 3 * p.Time(k)
+	cheap, _, _, err := p.BestFrameStrategy(k, frame, 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expensive, _, _, err := p.BestFrameStrategy(k, frame, 120, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap == expensive {
+		t.Skipf("idle power did not flip the verdict (cheap=%v, expensive=%v)", cheap, expensive)
+	}
+	if cheap != Pace && expensive != Pace {
+		t.Error("expected pacing to win somewhere in the sweep")
+	}
+}

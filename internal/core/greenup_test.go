@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func pi0FreeFermi() Params {
+	p := FromMachine(machine.FermiTableII(), machine.Double)
+	p.Pi0 = 0
+	return p
+}
+
+func TestTradeoffApply(t *testing.T) {
+	k := Kernel{W: 100, Q: 50}
+	tr := Tradeoff{F: 2, M: 5}
+	got := tr.Apply(k)
+	if got.W != 200 || got.Q != 10 {
+		t.Errorf("Apply = %+v", got)
+	}
+}
+
+func TestTradeoffValidate(t *testing.T) {
+	if (Tradeoff{F: 1.5, M: 2}).Validate() != nil {
+		t.Error("valid trade-off rejected")
+	}
+	if (Tradeoff{F: 0, M: 2}).Validate() == nil {
+		t.Error("f=0 accepted")
+	}
+	if (Tradeoff{F: 2, M: -1}).Validate() == nil {
+		t.Error("m<0 accepted")
+	}
+}
+
+func TestEq10BoundaryExact(t *testing.T) {
+	// At the eq. (10) boundary f* = 1 + (m-1)/m · Bε/I (π0 = 0), the
+	// energies are equal: ΔE = 1 exactly.
+	p := pi0FreeFermi()
+	for _, i := range []float64{0.5, 2, 8, 64} {
+		for _, m := range []float64{1.5, 2, 10, 1000} {
+			k := KernelAt(1e9, i)
+			fstar := p.GreenupConditionRHS(i, m)
+			tr := Tradeoff{F: fstar, M: m}
+			g := p.Greenup(k, tr)
+			if math.Abs(g-1) > 1e-9 {
+				t.Errorf("I=%v m=%v: greenup at boundary = %v, want 1", i, m, g)
+			}
+			// Just inside the bound: greenup.
+			tr.F = fstar * 0.99
+			if p.Greenup(k, tr) <= 1 {
+				t.Errorf("I=%v m=%v: expected greenup just inside bound", i, m)
+			}
+			// Just outside: no greenup.
+			tr.F = fstar * 1.01
+			if p.Greenup(k, tr) >= 1 {
+				t.Errorf("I=%v m=%v: expected no greenup just outside bound", i, m)
+			}
+		}
+	}
+}
+
+func TestMaxExtraWorkLimits(t *testing.T) {
+	p := pi0FreeFermi()
+	i := 2.0
+	// m → ∞ limit: f < 1 + Bε/I.
+	limit := p.MaxExtraWork(i)
+	if math.Abs(limit-(1+p.BalanceEnergy()/i)) > 1e-12 {
+		t.Errorf("MaxExtraWork = %v", limit)
+	}
+	// The eq. (10) RHS approaches the limit monotonically in m.
+	prev := 0.0
+	for _, m := range []float64{1.1, 2, 8, 64, 1e6} {
+		rhs := p.GreenupConditionRHS(i, m)
+		if rhs <= prev {
+			t.Errorf("RHS not increasing in m at m=%v", m)
+		}
+		if rhs >= limit {
+			t.Errorf("RHS %v exceeds the m→∞ limit %v", rhs, limit)
+		}
+		prev = rhs
+	}
+	// Compute-bound baseline limit: f < 1 + Bε/Bτ.
+	cb := p.MaxExtraWorkComputeBound()
+	if math.Abs(cb-(1+p.BalanceGap())) > 1e-12 {
+		t.Errorf("compute-bound limit = %v", cb)
+	}
+	// For any I ≥ Bτ, MaxExtraWork(I) ≤ the compute-bound limit.
+	for _, i := range []float64{p.BalanceTime(), 2 * p.BalanceTime(), 100} {
+		if p.MaxExtraWork(i) > cb+1e-12 {
+			t.Errorf("I=%v: limit %v above compute-bound limit %v", i, p.MaxExtraWork(i), cb)
+		}
+	}
+}
+
+func TestSpeedupComputation(t *testing.T) {
+	p := pi0FreeFermi()
+	// Baseline memory-bound at I = 1; halving traffic (m=2, f=1) doubles
+	// speed while it stays memory-bound.
+	k := KernelAt(1e9, 1)
+	tr := Tradeoff{F: 1, M: 2}
+	s := p.Speedup(k, tr)
+	if math.Abs(s-2) > 1e-9 {
+		t.Errorf("memory-bound speedup = %v, want 2", s)
+	}
+	// Once compute-bound, more traffic reduction gains nothing.
+	k2 := KernelAt(1e9, 100)
+	s2 := p.Speedup(k2, Tradeoff{F: 1, M: 10})
+	if math.Abs(s2-1) > 1e-9 {
+		t.Errorf("compute-bound speedup = %v, want 1", s2)
+	}
+	// Extra work with no traffic reduction slows down compute-bound code.
+	s3 := p.Speedup(k2, Tradeoff{F: 2, M: 1})
+	if math.Abs(s3-0.5) > 1e-9 {
+		t.Errorf("f=2 speedup = %v, want 0.5", s3)
+	}
+}
+
+func TestClassifyQuadrants(t *testing.T) {
+	p := pi0FreeFermi()
+	k := KernelAt(1e9, 1) // memory-bound in time and energy
+
+	cases := []struct {
+		name string
+		tr   Tradeoff
+		want TradeoffOutcome
+	}{
+		// Halve traffic for tiny extra work: both faster and greener.
+		{"both", Tradeoff{F: 1.01, M: 2}, Both},
+		// Massive extra work for modest traffic saving: neither.
+		{"neither", Tradeoff{F: 50, M: 2}, Neither},
+		// Moderate extra work, big traffic cut: the flops dominate time
+		// once compute-bound, but energy still wins -> greenup only.
+		{"greenup only", Tradeoff{F: 4.4, M: 1000}, GreenupOnly},
+	}
+	for _, c := range cases {
+		if got := p.Classify(k, c.tr); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v (ΔT=%v ΔE=%v)", c.name, got, c.want,
+				p.Speedup(k, c.tr), p.Greenup(k, c.tr))
+		}
+	}
+}
+
+func TestClassifySpeedupOnlyNeedsAdverseEnergy(t *testing.T) {
+	// Construct a machine where mops are cheap in energy but slow, so a
+	// trade-off that cuts traffic massively while adding work is faster
+	// but less green: Bε << Bτ.
+	p := Params{
+		TauFlop: 1e-12,
+		TauMem:  100e-12, // Bτ = 100
+		EpsFlop: 100e-12,
+		EpsMem:  10e-12, // Bε = 0.1
+	}
+	k := KernelAt(1e9, 1) // memory-bound in time, compute-bound in energy
+	tr := Tradeoff{F: 3, M: 50}
+	if got := p.Classify(k, tr); got != SpeedupOnly {
+		t.Errorf("Classify = %v, want speedup only (ΔT=%v ΔE=%v)", got,
+			p.Speedup(k, tr), p.Greenup(k, tr))
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	want := map[TradeoffOutcome]string{
+		Neither:     "neither",
+		SpeedupOnly: "speedup only",
+		GreenupOnly: "greenup only",
+		Both:        "speedup and greenup",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), s)
+		}
+	}
+}
+
+func TestLogGrid(t *testing.T) {
+	g := LogGrid(0.25, 16, 7)
+	if len(g) != 7 {
+		t.Fatalf("len = %d", len(g))
+	}
+	if math.Abs(g[0]-0.25) > 1e-12 || math.Abs(g[6]-16) > 1e-12 {
+		t.Errorf("endpoints = %v, %v", g[0], g[6])
+	}
+	// Even log spacing: consecutive ratios constant (2 here: 6 octaves/6 steps).
+	for i := 1; i < len(g); i++ {
+		if math.Abs(g[i]/g[i-1]-2) > 1e-9 {
+			t.Errorf("ratio at %d = %v", i, g[i]/g[i-1])
+		}
+	}
+	// Degenerate inputs.
+	if LogGrid(1, 2, 1) != nil || LogGrid(0, 2, 5) != nil || LogGrid(4, 2, 5) != nil {
+		t.Error("degenerate grids should be nil")
+	}
+}
+
+func TestGreenupWithConstantPower(t *testing.T) {
+	// With π0 > 0, a pure traffic cut on memory-bound code also cuts
+	// run time, so the greenup beats the π0 = 0 prediction.
+	p := FromMachine(machine.GTX580(), machine.Double)
+	k := KernelAt(1e9, 0.5) // memory-bound
+	tr := Tradeoff{F: 1, M: 2}
+	gFull := p.Greenup(k, tr)
+	p0 := p
+	p0.Pi0 = 0
+	gNoPi := p0.Greenup(k, tr)
+	if gFull <= gNoPi {
+		t.Errorf("π0 should amplify greenup for memory-bound traffic cuts: %v vs %v", gFull, gNoPi)
+	}
+}
+
+func TestSpeedupConditionClosedForm(t *testing.T) {
+	p := pi0FreeFermi()
+	// Memory-bound baseline staying memory-bound: halving traffic with
+	// no extra work doubles speed, so the f-threshold at m=2 is 2 for
+	// deeply memory-bound baselines (time scales with Q while the new
+	// code stays memory-bound past the crossover the bisection finds).
+	for _, c := range []struct{ i, m float64 }{
+		{0.25, 2}, {1, 4}, {3.6, 8}, {16, 2}, {64, 1024},
+	} {
+		rhs := p.SpeedupConditionRHS(c.i, c.m)
+		k := KernelAt(1e9, c.i)
+		// Exactly at the boundary the speedup is 1.
+		s := p.Speedup(k, Tradeoff{F: rhs, M: c.m})
+		if math.Abs(s-1) > 1e-6 {
+			t.Errorf("I=%v m=%v: speedup at boundary f=%v is %v", c.i, c.m, rhs, s)
+		}
+		// Inside: faster; outside: slower.
+		if p.Speedup(k, Tradeoff{F: rhs * 0.98, M: c.m}) <= 1 {
+			t.Errorf("I=%v m=%v: no speedup just inside boundary", c.i, c.m)
+		}
+		if p.Speedup(k, Tradeoff{F: rhs * 1.02, M: c.m}) >= 1 {
+			t.Errorf("I=%v m=%v: speedup just outside boundary", c.i, c.m)
+		}
+	}
+}
+
+func TestSpeedupPredictedMatchesExact(t *testing.T) {
+	p := pi0FreeFermi()
+	f := func(ri, rf, rm float64) bool {
+		i := math.Exp2(math.Mod(ri, 12) - 6)
+		tr := Tradeoff{
+			F: 1 + math.Abs(math.Mod(rf, 8)),
+			M: 1 + math.Abs(math.Mod(rm, 64)),
+		}
+		k := KernelAt(1e9, i)
+		exact := p.Speedup(k, tr) > 1
+		pred := p.SpeedupPredicted(i, tr)
+		// Skip razor-edge cases.
+		if math.Abs(tr.F-p.SpeedupConditionRHS(i, tr.M)) < 1e-6 {
+			return true
+		}
+		return exact == pred
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The §VII joint question: both conditions together classify the plane
+// identically to Classify (π0 = 0).
+func TestJointConditionsMatchClassify(t *testing.T) {
+	p := pi0FreeFermi()
+	for _, i := range []float64{0.5, 2, 3.6, 8, 64} {
+		k := KernelAt(1e9, i)
+		for _, f := range []float64{1.1, 2, 5, 12} {
+			for _, m := range []float64{1.5, 4, 32, 1024} {
+				tr := Tradeoff{F: f, M: m}
+				// Skip boundary-adjacent cells.
+				if math.Abs(f-p.GreenupConditionRHS(i, m)) < 1e-6 ||
+					math.Abs(f-p.SpeedupConditionRHS(i, m)) < 1e-6 {
+					continue
+				}
+				speed := p.SpeedupPredicted(i, tr)
+				green := p.GreenupPredicted(i, tr)
+				var want TradeoffOutcome
+				switch {
+				case speed && green:
+					want = Both
+				case speed:
+					want = SpeedupOnly
+				case green:
+					want = GreenupOnly
+				default:
+					want = Neither
+				}
+				if got := p.Classify(k, tr); got != want {
+					t.Errorf("I=%v f=%v m=%v: closed-form %v vs exact %v", i, f, m, want, got)
+				}
+			}
+		}
+	}
+}

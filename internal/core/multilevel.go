@@ -1,0 +1,61 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LevelTraffic records the byte traffic observed at one level of the
+// memory hierarchy together with that level's per-byte energy cost —
+// the §V-C refinement's inputs (the paper reads these from hardware
+// counters; the reproduction reads them from the cache simulator).
+type LevelTraffic struct {
+	// Name labels the level (e.g. "L1", "L2").
+	Name string
+	// Bytes is the traffic through the level.
+	Bytes float64
+	// EpsPerByte is the level's energy per byte in Joules.
+	EpsPerByte float64
+}
+
+// MultiLevelEnergy extends eq. (2) with per-level cache traffic
+// (§V-C):
+//
+//	E = W·ε_flop + Σ_level Q_level·ε_level + Q_dram·ε_mem + π0·T.
+//
+// T is supplied by the caller because a measured execution time, not
+// the model's idealized time, is what the paper plugs in when
+// estimating the energy of real FMM variants.
+func (p Params) MultiLevelEnergy(k Kernel, levels []LevelTraffic, t float64) (float64, error) {
+	if t < 0 {
+		return 0, errors.New("core: negative time")
+	}
+	e := k.W*p.EpsFlop + k.Q*p.EpsMem + p.Pi0*t
+	for i, l := range levels {
+		if l.Bytes < 0 || l.EpsPerByte < 0 {
+			return 0, fmt.Errorf("core: level %d (%s) has negative traffic or energy", i, l.Name)
+		}
+		e += l.Bytes * l.EpsPerByte
+	}
+	return e, nil
+}
+
+// TwoLevelEnergyAt evaluates the basic eq. (2) with an externally
+// measured time: E = W·ε_flop + Q·ε_mem + π0·T. This is the estimator
+// the paper first applies to the FMM variants — the one that
+// under-predicts by ~33% until the cache term is added.
+func (p Params) TwoLevelEnergyAt(k Kernel, t float64) float64 {
+	return k.W*p.EpsFlop + k.Q*p.EpsMem + p.Pi0*t
+}
+
+// FitLevelEnergy recovers a lumped cache energy-per-byte coefficient the
+// way §V-C does: given a measured total energy, the two-level estimate,
+// and the total cache traffic the two-level model ignored, it returns
+//
+//	ε_cache = (E_measured − E_twoLevel) / cacheBytes.
+func FitLevelEnergy(measured, twoLevelEstimate, cacheBytes float64) (float64, error) {
+	if cacheBytes <= 0 {
+		return 0, errors.New("core: cache traffic must be positive to fit a per-byte cost")
+	}
+	return (measured - twoLevelEstimate) / cacheBytes, nil
+}

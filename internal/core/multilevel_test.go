@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestMultiLevelEnergyReducesToTwoLevel(t *testing.T) {
+	p := FromMachine(machine.GTX580(), machine.Single)
+	k := KernelAt(1e9, 2)
+	tm := p.Time(k)
+	e2 := p.TwoLevelEnergyAt(k, tm)
+	eml, err := p.MultiLevelEnergy(k, nil, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e2-eml) > 1e-12*e2 {
+		t.Errorf("no-levels multilevel %v != two-level %v", eml, e2)
+	}
+	// And TwoLevelEnergyAt at the model time equals Energy.
+	if math.Abs(e2-p.Energy(k)) > 1e-12*e2 {
+		t.Errorf("TwoLevelEnergyAt(model T) %v != Energy %v", e2, p.Energy(k))
+	}
+}
+
+func TestMultiLevelEnergyAddsCacheTerms(t *testing.T) {
+	p := FromMachine(machine.GTX580(), machine.Single)
+	k := KernelAt(1e9, 2)
+	tm := p.Time(k)
+	levels := []LevelTraffic{
+		{Name: "L1", Bytes: 1e8, EpsPerByte: 187e-12},
+		{Name: "L2", Bytes: 5e7, EpsPerByte: 187e-12},
+	}
+	eml, err := p.MultiLevelEnergy(k, levels, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.TwoLevelEnergyAt(k, tm) + 1e8*187e-12 + 5e7*187e-12
+	if math.Abs(eml-want) > 1e-12*want {
+		t.Errorf("multilevel = %v, want %v", eml, want)
+	}
+}
+
+func TestMultiLevelEnergyErrors(t *testing.T) {
+	p := FromMachine(machine.GTX580(), machine.Single)
+	k := KernelAt(1e9, 2)
+	if _, err := p.MultiLevelEnergy(k, nil, -1); err == nil {
+		t.Error("negative time should fail")
+	}
+	bad := []LevelTraffic{{Name: "L1", Bytes: -5, EpsPerByte: 1}}
+	if _, err := p.MultiLevelEnergy(k, bad, 1); err == nil {
+		t.Error("negative traffic should fail")
+	}
+	bad[0] = LevelTraffic{Name: "L1", Bytes: 5, EpsPerByte: -1}
+	if _, err := p.MultiLevelEnergy(k, bad, 1); err == nil {
+		t.Error("negative per-byte energy should fail")
+	}
+}
+
+func TestFitLevelEnergyRecoversPlantedCoefficient(t *testing.T) {
+	// Plant a cache cost, generate "measured" energy, recover it — the
+	// §V-C procedure in miniature.
+	p := FromMachine(machine.GTX580(), machine.Single)
+	k := KernelAt(1e9, 2)
+	tm := p.Time(k)
+	const planted = 187e-12
+	cacheBytes := 3e8
+	measured := p.TwoLevelEnergyAt(k, tm) + planted*cacheBytes
+	got, err := FitLevelEnergy(measured, p.TwoLevelEnergyAt(k, tm), cacheBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-planted) > 1e-15 {
+		t.Errorf("fitted ε_cache = %v, want %v", got, planted)
+	}
+	if _, err := FitLevelEnergy(1, 1, 0); err == nil {
+		t.Error("zero traffic should fail")
+	}
+}
+
+func TestTwoLevelUnderestimatesWithCacheTraffic(t *testing.T) {
+	// The §V-C observation in model form: when a workload moves bytes
+	// through caches the two-level estimate is strictly below the
+	// multi-level energy.
+	p := FromMachine(machine.GTX580(), machine.Single)
+	k := KernelAt(1e9, 4)
+	tm := p.Time(k)
+	levels := []LevelTraffic{{Name: "L1+L2", Bytes: 4e8, EpsPerByte: 187e-12}}
+	eml, err := p.MultiLevelEnergy(k, levels, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TwoLevelEnergyAt(k, tm) >= eml {
+		t.Error("two-level estimate should under-predict when caches are busy")
+	}
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+// randParams maps three raw float64s onto a valid Params in a realistic
+// range: pico-scale energies and times, constant power in [0, 400) W.
+func randParams(a, b, c float64) Params {
+	u := func(x float64) float64 { // (0,1]
+		v := math.Abs(math.Mod(x, 1))
+		if v == 0 || math.IsNaN(v) {
+			v = 0.5
+		}
+		return v
+	}
+	return Params{
+		TauFlop: 1e-12 * (0.1 + 10*u(a)),
+		TauMem:  1e-12 * (0.1 + 10*u(b)),
+		EpsFlop: 1e-12 * (1 + 500*u(c)),
+		EpsMem:  1e-12 * (1 + 900*u(a*b+1)),
+		Pi0:     400 * u(b*c+2),
+	}
+}
+
+func randIntensity(x float64) float64 {
+	v := math.Abs(math.Mod(x, 20)) - 10 // [-10, 10)
+	return math.Exp2(v)                 // intensity in [2^-10, 2^10)
+}
+
+func TestPropEq5IdentityHoldsEverywhere(t *testing.T) {
+	f := func(a, b, c, ri float64) bool {
+		p := randParams(a, b, c)
+		k := KernelAt(1e9, randIntensity(ri))
+		e4 := p.Energy(k)
+		e5 := p.EnergyEq5(k)
+		return math.Abs(e4-e5) <= 1e-9*e4
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropArchlineMonotoneAndBounded(t *testing.T) {
+	f := func(a, b, c, r1, r2 float64) bool {
+		p := randParams(a, b, c)
+		i1, i2 := randIntensity(r1), randIntensity(r2)
+		if i1 > i2 {
+			i1, i2 = i2, i1
+		}
+		e1, e2 := p.ArchlineEnergy(i1), p.ArchlineEnergy(i2)
+		if e1 < 0 || e2 > 1 {
+			return false
+		}
+		// Non-decreasing in intensity: less traffic can never cost more
+		// energy per flop.
+		return e2 >= e1-1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRooflineDominatesNothingButSaturates(t *testing.T) {
+	f := func(a, b, c, ri float64) bool {
+		p := randParams(a, b, c)
+		i := randIntensity(ri)
+		rt := p.RooflineTime(i)
+		return rt > 0 && rt <= 1
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTimeOverlapBounds(t *testing.T) {
+	// max(a,b) <= a+b <= 2*max(a,b): overlap saves at most 2x.
+	f := func(a, b, c, ri float64) bool {
+		p := randParams(a, b, c)
+		k := KernelAt(1e6, randIntensity(ri))
+		lo, hi := p.Time(k), p.TimeNoOverlap(k)
+		return lo <= hi && hi <= 2*lo+1e-18
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEffectiveBalanceInterpolates(t *testing.T) {
+	// B̂ε(I) is a convex combination of Bε and (Bε-ish + Bτ-I) terms; it
+	// must lie between min/max of Bε and Bε + (Bτ−I) clamped forms, and
+	// equal η·Bε once compute-bound.
+	f := func(a, b, c, ri float64) bool {
+		p := randParams(a, b, c)
+		i := randIntensity(ri)
+		bhat := p.EffectiveBalanceEnergy(i)
+		eta := p.EtaFlop()
+		be := p.BalanceEnergy()
+		bt := p.BalanceTime()
+		if i >= bt {
+			return math.Abs(bhat-eta*be) <= 1e-12*math.Abs(eta*be)
+		}
+		lo := eta * be
+		hi := eta*be + (1-eta)*bt
+		return bhat >= lo-1e-12 && bhat <= hi+1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropHalfEfficiencySolvesFixedPoint(t *testing.T) {
+	// At I* = HalfEfficiencyIntensity, B̂ε(I*) == I*, hence arch = 1/2.
+	f := func(a, b, c float64) bool {
+		p := randParams(a, b, c)
+		istar := p.HalfEfficiencyIntensity()
+		if istar <= 0 {
+			return false
+		}
+		return math.Abs(p.ArchlineEnergy(istar)-0.5) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPowerLinePeaksAtBalance(t *testing.T) {
+	f := func(a, b, c, ri float64) bool {
+		p := randParams(a, b, c)
+		i := randIntensity(ri)
+		return p.PowerLine(i) <= p.MaxPower()+1e-9*p.MaxPower()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPowerLineLimits(t *testing.T) {
+	// I → ∞ limit is πflop + π0; everything is ≥ that baseline since
+	// any traffic only adds power.
+	f := func(a, b, c, ri float64) bool {
+		p := randParams(a, b, c)
+		i := randIntensity(ri)
+		floor := p.PiFlop() + p.Pi0
+		return p.PowerLine(i) >= floor-1e-9*floor
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEnergyEfficiencyImpliesTimeEfficiency(t *testing.T) {
+	// §II-D corollary: when Bε(effective) ≥ Bτ, I > B̂ε ⇒ I > Bτ.
+	// Equivalently: compute-bound in energy implies compute-bound in
+	// time whenever the balance gap is adverse (B̂ε(y=1/2) ≥ Bτ).
+	f := func(a, b, c, ri float64) bool {
+		p := randParams(a, b, c)
+		if p.HalfEfficiencyIntensity() < p.BalanceTime() {
+			return true // gap not adverse; claim does not apply
+		}
+		i := randIntensity(ri)
+		k := KernelAt(1e6, i)
+		if p.EnergyBound(k) == ComputeBound {
+			return p.TimeBound(k) == ComputeBound
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCappedPowerRespectsCap(t *testing.T) {
+	f := func(a, b, c, ri, rcap float64) bool {
+		p := randParams(a, b, c)
+		// A cap somewhere above π0.
+		p.PowerCap = p.Pi0 + 1 + math.Abs(math.Mod(rcap, 300))
+		k := KernelAt(1e9, randIntensity(ri))
+		return p.CappedPower(k) <= p.PowerCap*(1+1e-9)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCappedTimeNeverFaster(t *testing.T) {
+	f := func(a, b, c, ri, rcap float64) bool {
+		p := randParams(a, b, c)
+		p.PowerCap = p.Pi0 + 1 + math.Abs(math.Mod(rcap, 300))
+		k := KernelAt(1e9, randIntensity(ri))
+		return p.CappedTime(k) >= p.Time(k)-1e-18
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropGreenupMatchesEq10WhenPi0Zero(t *testing.T) {
+	// With π0 = 0 the exact greenup ΔE > 1 iff eq. (10) holds
+	// (strictness at the boundary aside).
+	f := func(a, b, c, ri, rf, rm float64) bool {
+		p := randParams(a, b, c)
+		p.Pi0 = 0
+		i := randIntensity(ri)
+		k := KernelAt(1e9, i)
+		tr := Tradeoff{
+			F: 1 + math.Abs(math.Mod(rf, 4)),
+			M: 1 + math.Abs(math.Mod(rm, 9)),
+		}
+		exact := p.Greenup(k, tr) > 1
+		predicted := p.GreenupPredicted(i, tr)
+		// Avoid flakiness exactly on the boundary.
+		if math.Abs(tr.F-p.GreenupConditionRHS(i, tr.M)) < 1e-9 {
+			return true
+		}
+		return exact == predicted
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEnergyDecomposition(t *testing.T) {
+	// E = Eflops + Emem + E0 exactly, and all parts non-negative.
+	f := func(a, b, c, ri float64) bool {
+		p := randParams(a, b, c)
+		k := KernelAt(1e9, randIntensity(ri))
+		parts := p.EnergyFlops(k) + p.EnergyMem(k) + p.EnergyConstant(k)
+		if p.EnergyFlops(k) < 0 || p.EnergyMem(k) < 0 || p.EnergyConstant(k) < 0 {
+			return false
+		}
+		return math.Abs(parts-p.Energy(k)) <= 1e-12*parts
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropNormalizedMeasurementsBelowModelCurves(t *testing.T) {
+	// Any "measured" execution that is slower than the model's T and
+	// burns more than the model's E lands on or below both curves —
+	// rooflines are upper bounds.
+	f := func(a, b, c, ri, slow float64) bool {
+		p := randParams(a, b, c)
+		i := randIntensity(ri)
+		k := KernelAt(1e9, i)
+		slowdown := 1 + math.Abs(math.Mod(slow, 3))
+		tMeas := p.Time(k) * slowdown
+		eMeas := p.Energy(k) + p.Pi0*(tMeas-p.Time(k)) // extra constant energy while slow
+		perfT := p.TimeFlops(k) / tMeas
+		perfE := k.W * p.EpsFlopHat() / eMeas
+		return perfT <= p.RooflineTime(i)+1e-12 && perfE <= p.ArchlineEnergy(i)+1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 300}
+}
+
+// Sanity: randParams always yields valid parameter sets, so the
+// property tests exercise the intended domain.
+func TestRandParamsValid(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		return randParams(a, b, c).Validate() == nil
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromMachineRoundTrip(t *testing.T) {
+	m := machine.GTX580()
+	p := FromMachine(m, machine.Single)
+	if p.PowerCap != float64(m.PowerCap) || p.Pi0 != 122 {
+		t.Errorf("FromMachine powers: %+v", p)
+	}
+	if math.Abs(p.BalanceTime()-m.BalanceTime(machine.Single)) > 1e-12 {
+		t.Error("balance mismatch with machine-level computation")
+	}
+	if math.Abs(p.BalanceEnergy()-m.BalanceEnergy(machine.Single)) > 1e-12 {
+		t.Error("energy balance mismatch with machine-level computation")
+	}
+}
+
+func TestPropArchlineContinuousAtBalance(t *testing.T) {
+	// The arch line is smooth: approaching Bτ from both sides gives the
+	// same value (the effective-balance term vanishes continuously).
+	f := func(a, b, c float64) bool {
+		p := randParams(a, b, c)
+		bt := p.BalanceTime()
+		lo := p.ArchlineEnergy(bt * (1 - 1e-9))
+		hi := p.ArchlineEnergy(bt * (1 + 1e-9))
+		return math.Abs(lo-hi) < 1e-6
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPowerLineContinuousAtBalance(t *testing.T) {
+	// Unlike the roofline's derivative, the power line's *value* is
+	// continuous at Bτ even though the regime switches.
+	f := func(a, b, c float64) bool {
+		p := randParams(a, b, c)
+		bt := p.BalanceTime()
+		lo := p.PowerLine(bt * (1 - 1e-9))
+		hi := p.PowerLine(bt * (1 + 1e-9))
+		return math.Abs(lo-hi) < 1e-6*lo
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropHatBalanceReducesToPlainWhenPi0Zero(t *testing.T) {
+	// η = 1 collapses eq. (6) to B̂ε(I) = Bε everywhere.
+	f := func(a, b, c, ri float64) bool {
+		p := randParams(a, b, c)
+		p.Pi0 = 0
+		i := randIntensity(ri)
+		return math.Abs(p.EffectiveBalanceEnergy(i)-p.BalanceEnergy()) < 1e-12*p.BalanceEnergy()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

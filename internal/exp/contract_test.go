@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// The reproduction contract: each canonical experiment must keep
+// reporting these paper-vs-reproduced quantities. Renaming or dropping
+// one is an API break for downstream dashboards (exp.WriteJSON), so the
+// expected key set is pinned here.
+var contract = map[string][]string{
+	"tableII": {
+		"τflop (ps/flop)", "τmem (ps/byte)", "Bτ (flop/byte)",
+		"εflop (pJ/flop)", "εmem (pJ/byte)", "Bε (flop/byte)",
+	},
+	"fig2a": {
+		"time-balance point Bτ", "energy-balance point Bε",
+		"arch line at Bε", "roofline at Bτ", "peak efficiency",
+	},
+	"fig2b": {
+		"compute-bound limit", "memory-bound limit", "max power", "argmax",
+	},
+	"tableIII": {
+		"i7-950 SP peak", "i7-950 DP peak", "i7-950 bandwidth", "i7-950 TDP",
+		"GTX 580 SP peak", "GTX 580 DP peak", "GTX 580 bandwidth", "GTX 580 max rating",
+	},
+	"tableIV": {
+		"NVIDIA GTX 580 εs", "NVIDIA GTX 580 εd", "NVIDIA GTX 580 εmem", "NVIDIA GTX 580 π0",
+		"Intel Core i7-950 εs", "Intel Core i7-950 εd", "Intel Core i7-950 εmem", "Intel Core i7-950 π0",
+	},
+	"fig4a": {
+		"GTX 580 Bτ", "GTX 580 Bε const=0", "GTX 580 B̂ε at y=1/2",
+		"GTX 580 peak (GFLOP/s)", "GTX 580 peak (GFLOP/J)",
+		"i7-950 Bτ", "i7-950 Bε const=0", "i7-950 B̂ε at y=1/2",
+		"i7-950 peak (GFLOP/s)", "i7-950 peak (GFLOP/J)",
+	},
+	"fig4b": {
+		"GTX 580 Bτ", "GTX 580 B̂ε at y=1/2", "i7-950 Bτ", "i7-950 B̂ε at y=1/2",
+	},
+	"fig5a": {"GTX 580 model max power", "i7-950 model max power"},
+	"fig5b": {
+		"GTX 580 model max power", "i7-950 model max power",
+		"measured max power exceeds 244 W", "below model peak 387 W",
+	},
+	"peaks": {
+		"NVIDIA GTX 580 double achieved GFLOP/s", "NVIDIA GTX 580 double achieved GB/s",
+		"NVIDIA GTX 580 single achieved GFLOP/s", "NVIDIA GTX 580 single achieved GB/s",
+		"Intel Core i7-950 single achieved GFLOP/s", "Intel Core i7-950 single achieved GB/s",
+		"Intel Core i7-950 double achieved GFLOP/s", "Intel Core i7-950 double achieved GB/s",
+	},
+	"fmmu": {
+		"fitted cache energy", "mean underestimate", "refined median relative error",
+	},
+	"greenup": {
+		"eq.(10) agreement", "hard f limit",
+	},
+	"racetohalt": {
+		"race-to-halt effective on all measured cases",
+		"GTX 580 double reverses when π0=0",
+		"i7-950 double does NOT reverse when π0=0",
+	},
+}
+
+func TestReproductionContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every canonical experiment")
+	}
+	for id, wantNames := range contract {
+		id, wantNames := id, wantNames
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q missing from registry", id)
+			}
+			rep, err := e.Run(fastCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range wantNames {
+				found := false
+				for _, c := range rep.Comparisons {
+					if strings.Contains(c.Name, want) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("comparison %q missing from %s", want, id)
+				}
+			}
+		})
+	}
+}

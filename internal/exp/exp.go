@@ -1,0 +1,227 @@
+// Package exp is the experiment harness: one registered experiment per
+// table and figure of the paper's evaluation, each returning a report
+// with paper-reported versus reproduced values and a rendered text
+// (and optional SVG) artifact.
+//
+// The registry:
+//
+//	tableI     — model parameter glossary (Table I)
+//	tableII    — Fermi sample parameters and balances (Table II)
+//	fig2a      — roofline vs arch line (Fig. 2a)
+//	fig2b      — power-line chart (Fig. 2b)
+//	tableIII   — platform peaks (Table III)
+//	tableIV    — fitted energy coefficients via eq. 9 (Table IV)
+//	fig4a      — measured vs model, double precision (Fig. 4a)
+//	fig4b      — measured vs model, single precision (Fig. 4b)
+//	fig5a      — power lines, double precision (Fig. 5a)
+//	fig5b      — power lines, single precision + cap (Fig. 5b)
+//	peaks      — §IV-B achieved fractions of peak
+//	fmmu       — §V-C FMM U-list energy estimation study
+//	greenup    — §VII work–communication trade-off analysis (eq. 10)
+//	racetohalt — §II-D/§V-B race-to-halt balance-gap analysis
+package exp
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/chart"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Seed drives all simulated measurement noise.
+	Seed int64
+	// Fast trades statistical weight for speed (fewer reps, smaller
+	// instances); used by the test suite. The experiments binary runs
+	// full size by default.
+	Fast bool
+	// SVGDir, when set, receives one SVG per figure experiment.
+	SVGDir string
+	// PNGDir, when set, receives one PNG per figure experiment.
+	PNGDir string
+}
+
+// Comparison pairs a paper-reported value with its reproduced value.
+type Comparison struct {
+	// Name describes the quantity (with units).
+	Name string
+	// Paper is the value the paper reports.
+	Paper float64
+	// Measured is the reproduction's value.
+	Measured float64
+	// Tol is the acceptable relative deviation for Ok; 0 means the
+	// comparison is informational only.
+	Tol float64
+	// Note carries caveats (e.g. known simulator/testbed differences).
+	Note string
+}
+
+// Ok reports whether the reproduced value is within tolerance of the
+// paper's. Informational comparisons (Tol = 0) are always Ok.
+func (c Comparison) Ok() bool {
+	if c.Tol == 0 {
+		return true
+	}
+	if c.Paper == 0 {
+		return math.Abs(c.Measured) <= c.Tol
+	}
+	return math.Abs(c.Measured-c.Paper)/math.Abs(c.Paper) <= c.Tol
+}
+
+// Report is one experiment's outcome.
+type Report struct {
+	// ID and Title identify the experiment.
+	ID, Title string
+	// Comparisons hold paper-vs-reproduced values.
+	Comparisons []Comparison
+	// Text is the rendered artifact (tables, ASCII charts).
+	Text string
+}
+
+// Failures returns the comparisons that exceeded tolerance.
+func (r *Report) Failures() []Comparison {
+	var out []Comparison
+	for _, c := range r.Comparisons {
+		if !c.Ok() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Render formats the report for terminal output.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	if len(r.Comparisons) > 0 {
+		fmt.Fprintf(&sb, "%-44s %14s %14s  %s\n", "quantity", "paper", "reproduced", "ok")
+		for _, c := range r.Comparisons {
+			status := "ok"
+			if !c.Ok() {
+				status = "DEVIATES"
+			}
+			if c.Tol == 0 {
+				status = "info"
+			}
+			fmt.Fprintf(&sb, "%-44s %14.4g %14.4g  %s", c.Name, c.Paper, c.Measured, status)
+			if c.Note != "" {
+				fmt.Fprintf(&sb, "  (%s)", c.Note)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	if r.Text != "" {
+		sb.WriteString(r.Text)
+		if !strings.HasSuffix(r.Text, "\n") {
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the registry key (e.g. "fig4a").
+	ID string
+	// Title is a human-readable summary.
+	Title string
+	// Run executes the experiment.
+	Run func(Config) (*Report, error)
+}
+
+var registry = map[string]Experiment{}
+
+// canonicalOrder lists experiments in the order the paper presents
+// them; experiments not in this list (extensions) sort after, by ID.
+var canonicalOrder = []string{
+	"tableI", "tableII", "fig2a", "fig2b", "tableIII",
+	"fig4a", "fig4b", "tableIV", "peaks",
+	"fig5a", "fig5b", "fmmu", "greenup", "racetohalt",
+}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+func rank(id string) int {
+	for i, v := range canonicalOrder {
+		if v == id {
+			return i
+		}
+	}
+	return len(canonicalOrder)
+}
+
+// All returns every experiment in paper order (extensions last, by ID).
+func All() []Experiment {
+	ids := IDs()
+	out := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns the registered experiment IDs in paper order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ri, rj := rank(ids[i]), rank(ids[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// writeSVG renders the chart into cfg.SVGDir (and, when configured,
+// cfg.PNGDir) — the figure-emission hook every chart experiment calls.
+func writeSVG(cfg Config, name string, c *chart.Chart) error {
+	if cfg.SVGDir != "" {
+		svg, err := c.RenderSVG()
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(cfg.SVGDir, 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(cfg.SVGDir, name+".svg"), []byte(svg), 0o644); err != nil {
+			return err
+		}
+	}
+	if cfg.PNGDir != "" {
+		if err := os.MkdirAll(cfg.PNGDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(cfg.PNGDir, name+".png"))
+		if err != nil {
+			return err
+		}
+		if err := c.RenderPNG(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

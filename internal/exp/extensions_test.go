@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// Detail assertions on the extension experiments, beyond the generic
+// comparison runner: specific derived numbers that must stay pinned.
+
+func mustRun(t *testing.T, id string) *Report {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q missing", id)
+	}
+	rep, err := e.Run(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func comparisonByName(t *testing.T, rep *Report, substr string) Comparison {
+	t.Helper()
+	for _, c := range rep.Comparisons {
+		if strings.Contains(c.Name, substr) {
+			return c
+		}
+	}
+	t.Fatalf("%s: no comparison matching %q", rep.ID, substr)
+	return Comparison{}
+}
+
+func TestDVFSThresholdValue(t *testing.T) {
+	rep := mustRun(t, "dvfs")
+	c := comparisonByName(t, rep, "2·πflop threshold")
+	// 2 × 212 pJ × 197.63e9 flop/s = 83.8 W.
+	want := 2 * 212e-12 * 197.63e9
+	if math.Abs(c.Measured-want) > 0.1 {
+		t.Errorf("threshold = %v, want %v", c.Measured, want)
+	}
+	// The measured π0 of 122 W sits above it — that's the whole point.
+	if want >= 122 {
+		t.Error("threshold must sit below the measured constant power")
+	}
+}
+
+func TestConcurrencyRequirementValue(t *testing.T) {
+	rep := mustRun(t, "concurrency")
+	c := comparisonByName(t, rep, "required concurrency")
+	// 192.4 GB/s × 600 ns / 128 B ≈ 902 outstanding lines.
+	if math.Abs(c.Measured-902) > 1 {
+		t.Errorf("required concurrency = %v, want ≈902", c.Measured)
+	}
+}
+
+func TestPi0FlipBelowMeasured(t *testing.T) {
+	rep := mustRun(t, "ablation-pi0")
+	// The text reports the bisected flip point; it must lie strictly
+	// between 0 and 122 and match the closed-form crossover where
+	// B̂ε(y=½) = Bτ.
+	if !strings.Contains(rep.Text, "race-to-halt becomes effective at π0 ≈") {
+		t.Fatalf("flip line missing from text:\n%s", rep.Text)
+	}
+	// Closed form: find the π0 where HalfEfficiencyIntensity == Bτ.
+	base := core.FromMachine(machine.GTX580(), machine.Double)
+	lo, hi := 0.0, 122.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		p := base
+		p.Pi0 = mid
+		if p.RaceToHaltEffective() {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	flip := (lo + hi) / 2
+	if flip <= 0 || flip >= 122 {
+		t.Errorf("flip = %v out of range", flip)
+	}
+	// Verify the fixed point: at the flip, B̂ε(y=½) ≈ Bτ.
+	p := base
+	p.Pi0 = flip
+	if math.Abs(p.HalfEfficiencyIntensity()-p.BalanceTime()) > 1e-6 {
+		t.Errorf("flip point is not the balance crossover: %v vs %v",
+			p.HalfEfficiencyIntensity(), p.BalanceTime())
+	}
+}
+
+func TestFutureRegimeZoneWidth(t *testing.T) {
+	rep := mustRun(t, "future")
+	for _, c := range rep.Comparisons {
+		if !c.Ok() {
+			t.Errorf("future: %q deviates", c.Name)
+		}
+	}
+	// The Bτ < I < Bε zone must be wide (gap 5 by construction).
+	p := core.FromMachine(machine.FutureBalanceGap(), machine.Double)
+	if p.BalanceGap() < 2 {
+		t.Errorf("future gap = %v, want a decisive regime", p.BalanceGap())
+	}
+}
+
+func TestOverlapAblationPenaltyProfile(t *testing.T) {
+	rep := mustRun(t, "ablation-overlap")
+	// The exact penalty at I = Bτ is 2 (checked as a comparison, since
+	// the log grid does not sample Bτ itself).
+	c := comparisonByName(t, rep, "worst-case no-overlap penalty")
+	if math.Abs(c.Measured-2) > 1e-9 {
+		t.Errorf("penalty at Bτ = %v, want exactly 2", c.Measured)
+	}
+	// The table's extremes tend to 1: last row's ratio below 1.1.
+	lines := strings.Split(strings.TrimSpace(rep.Text), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "1.0") {
+		t.Errorf("extreme penalty should approach 1: %q", last)
+	}
+}
+
+func TestMetricsExperimentIndices(t *testing.T) {
+	rep := mustRun(t, "metrics")
+	c := comparisonByName(t, rep, "speed index")
+	if !c.Ok() {
+		t.Errorf("speed index deviates: %+v", c)
+	}
+	g := comparisonByName(t, rep, "green index")
+	if !g.Ok() {
+		t.Errorf("green index deviates: %+v", g)
+	}
+}
+
+func TestPipelineExperimentLatencyFraction(t *testing.T) {
+	rep := mustRun(t, "pipeline")
+	c := comparisonByName(t, rep, "latency-starved")
+	// 2 flops per 5-cycle chain step on a 3-wide, 2-flop/slot core:
+	// fraction = (2/5)/(2·3) = 1/15 ≈ 0.067.
+	if math.Abs(c.Paper-1.0/15) > 1e-9 {
+		t.Errorf("expected paper value 1/15, got %v", c.Paper)
+	}
+	if !c.Ok() {
+		t.Errorf("latency fraction deviates: %+v", c)
+	}
+}

@@ -1,0 +1,409 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chart"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/microbench"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{ID: "fig2a", Title: "Roofline vs arch line for the Table II Fermi (Fig. 2a)", Run: runFig2a})
+	register(Experiment{ID: "fig2b", Title: "Power-line chart for the Table II Fermi (Fig. 2b)", Run: runFig2b})
+	register(Experiment{ID: "fig4a", Title: "Measured vs model, double precision (Fig. 4a)", Run: figure4(machine.Double, "fig4a")})
+	register(Experiment{ID: "fig4b", Title: "Measured vs model, single precision (Fig. 4b)", Run: figure4(machine.Single, "fig4b")})
+	register(Experiment{ID: "fig5a", Title: "Power lines, double precision (Fig. 5a)", Run: figure5(machine.Double, "fig5a")})
+	register(Experiment{ID: "fig5b", Title: "Power lines, single precision with power cap (Fig. 5b)", Run: figure5(machine.Single, "fig5b")})
+}
+
+func runFig2a(cfg Config) (*Report, error) {
+	p := core.FromMachine(machine.FermiTableII(), machine.Double)
+	grid := core.LogGrid(0.5, 512, 61)
+	roof := make([]float64, len(grid))
+	arch := make([]float64, len(grid))
+	for i, x := range grid {
+		roof[i] = p.RooflineTime(x)
+		arch[i] = p.ArchlineEnergy(x)
+	}
+	c := &chart.Chart{
+		Title:  "Fig 2a: roofline (time) vs arch line (energy), Fermi Table II, π0=0",
+		XLabel: "Intensity (flop:byte)",
+		YLabel: "Relative performance (515 GFLOP/s or 40 GFLOP/J)",
+		LogX:   true, LogY: true,
+		Series: []chart.Series{
+			{Name: "Roofline (GFLOP/s)", X: grid, Y: roof, Marker: 'r', Line: true},
+			{Name: "Arch line (GFLOP/J)", X: grid, Y: arch, Marker: 'e', Line: true},
+		},
+		VLines: []chart.VLine{
+			{X: p.BalanceTime(), Label: "Bτ"},
+			{X: p.BalanceEnergy(), Label: "Bε"},
+		},
+	}
+	text, err := c.RenderASCII()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeSVG(cfg, "fig2a", c); err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID: "fig2a", Title: "Roofline vs arch line",
+		Comparisons: []Comparison{
+			{Name: "time-balance point Bτ (flop/byte)", Paper: 3.6, Measured: p.BalanceTime(), Tol: 0.01},
+			{Name: "energy-balance point Bε (flop/byte)", Paper: 14.4, Measured: p.BalanceEnergy(), Tol: 0.001},
+			{Name: "arch line at Bε (half efficiency)", Paper: 0.5, Measured: p.ArchlineEnergy(p.BalanceEnergy()), Tol: 1e-9},
+			{Name: "roofline at Bτ (saturation)", Paper: 1, Measured: p.RooflineTime(p.BalanceTime()), Tol: 1e-9},
+			{Name: "peak efficiency (GFLOP/J)", Paper: 40, Measured: p.PeakEfficiency() / 1e9, Tol: 0.01},
+		},
+		Text: text,
+	}, nil
+}
+
+func runFig2b(cfg Config) (*Report, error) {
+	p := core.FromMachine(machine.FermiTableII(), machine.Double)
+	grid := core.LogGrid(0.5, 512, 61)
+	line := make([]float64, len(grid))
+	pf := p.PiFlop()
+	for i, x := range grid {
+		line[i] = p.PowerLine(x) / pf
+	}
+	c := &chart.Chart{
+		Title:  "Fig 2b: power line, Fermi Table II, π0=0",
+		XLabel: "Intensity (flop:byte)",
+		YLabel: "Power, relative to flop-power",
+		LogX:   true, LogY: true,
+		Series: []chart.Series{{Name: "P(I)/πflop", X: grid, Y: line, Marker: 'p', Line: true}},
+		VLines: []chart.VLine{
+			{X: p.BalanceTime(), Label: "Bτ"},
+			{X: p.BalanceEnergy(), Label: "Bε"},
+		},
+		HLines: []chart.HLine{
+			{Y: 1, Label: "flop power"},
+			{Y: p.BalanceGap(), Label: "memory-bound limit"},
+			{Y: 1 + p.BalanceGap(), Label: "max power"},
+		},
+	}
+	text, err := c.RenderASCII()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeSVG(cfg, "fig2b", c); err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID: "fig2b", Title: "Power line",
+		Comparisons: []Comparison{
+			{Name: "compute-bound limit P/πflop", Paper: 1, Measured: p.PowerLine(1e9) / pf, Tol: 1e-6},
+			{Name: "memory-bound limit P/πflop (Bε/Bτ)", Paper: 4.0, Measured: p.BalanceGap(), Tol: 0.01},
+			{Name: "max power P/πflop (1+Bε/Bτ)", Paper: 5.0, Measured: p.MaxPower() / pf, Tol: 0.01},
+			{Name: "argmax of power line (= Bτ)", Paper: 3.6, Measured: argmaxPower(p), Tol: 0.05},
+		},
+		Text: text,
+	}, nil
+}
+
+func argmaxPower(p core.Params) float64 {
+	grid := core.LogGrid(0.25, 1024, 241)
+	best, bestP := grid[0], 0.0
+	for _, x := range grid {
+		if v := p.PowerLine(x); v > bestP {
+			best, bestP = x, v
+		}
+	}
+	return best
+}
+
+// fig4Case is one subplot of Fig. 4: a platform at one precision with
+// the paper's annotated balance points and peaks.
+type fig4Case struct {
+	key      string
+	m        *machine.Machine
+	bt       float64 // annotated Bτ
+	beConst0 float64 // annotated Bε with π0=0
+	beHalf   float64 // annotated B̂ε at y=1/2
+	peakGFs  float64 // annotated peak GFLOP/s
+	peakGFJ  float64 // annotated peak GFLOP/J
+	hiI      float64 // sweep upper intensity
+}
+
+func fig4Cases(prec machine.Precision) []fig4Case {
+	if prec == machine.Double {
+		return []fig4Case{
+			{key: "GTX 580", m: machine.GTX580(), bt: 1.0, beConst0: 2.4, beHalf: 0.79, peakGFs: 200, peakGFJ: 1.2, hiI: 16},
+			{key: "i7-950", m: machine.CoreI7950(), bt: 2.1, beConst0: 1.2, beHalf: 1.1, peakGFs: 53, peakGFJ: 0.34, hiI: 16},
+		}
+	}
+	return []fig4Case{
+		{key: "GTX 580", m: machine.GTX580(), bt: 8.2, beConst0: 5.1, beHalf: 4.5, peakGFs: 1600, peakGFJ: 5.7, hiI: 64},
+		{key: "i7-950", m: machine.CoreI7950(), bt: 4.2, beConst0: 2.1, beHalf: 2.1, peakGFs: 110, peakGFJ: 0.66, hiI: 64},
+	}
+}
+
+func figure4(prec machine.Precision, id string) func(Config) (*Report, error) {
+	return func(cfg Config) (*Report, error) {
+		rep := &Report{ID: id, Title: fmt.Sprintf("Measured time/energy vs intensity (%v precision)", prec)}
+		var text strings.Builder
+		for ci, fc := range fig4Cases(prec) {
+			p := core.FromMachine(fc.m, prec)
+			// Model annotations.
+			tolPct := 0.06
+			p0 := p
+			p0.Pi0 = 0
+			rep.Comparisons = append(rep.Comparisons,
+				Comparison{Name: fc.key + " Bτ (flop/byte)", Paper: fc.bt, Measured: p.BalanceTime(), Tol: tolPct},
+				Comparison{Name: fc.key + " Bε const=0 (flop/byte)", Paper: fc.beConst0, Measured: p0.BalanceEnergy(), Tol: tolPct},
+				Comparison{Name: fc.key + " B̂ε at y=1/2 (flop/byte)", Paper: fc.beHalf, Measured: p.HalfEfficiencyIntensity(), Tol: tolPct},
+				Comparison{Name: fc.key + " peak (GFLOP/s)", Paper: fc.peakGFs, Measured: p.PeakFlopsRate() / 1e9, Tol: tolPct},
+				Comparison{Name: fc.key + " peak (GFLOP/J)", Paper: fc.peakGFJ, Measured: p.PeakEfficiency() / 1e9, Tol: tolPct},
+			)
+
+			// Measured sweep.
+			eng, err := sim.New(fc.m, sim.DefaultConfig(cfg.Seed+int64(ci)*7))
+			if err != nil {
+				return nil, err
+			}
+			tuning, _, err := microbench.AutoTune(eng, prec)
+			if err != nil {
+				return nil, err
+			}
+			reps := 100
+			n := 11
+			if cfg.Fast {
+				reps, n = 5, 9
+			}
+			pts, err := microbench.Sweep(eng, prec, microbench.SweepConfig{
+				Intensities: core.LogGrid(0.25, fc.hiI, n),
+				VolumeBytes: 1 << 28,
+				Reps:        reps,
+				Tuning:      tuning,
+			})
+			if err != nil {
+				return nil, err
+			}
+
+			grid := core.LogGrid(0.25, fc.hiI, 49)
+			modelT := make([]float64, len(grid))
+			modelE := make([]float64, len(grid))
+			for i, x := range grid {
+				modelT[i] = p.RooflineTime(x)
+				modelE[i] = p.ArchlineEnergy(x)
+			}
+			var mx, mt, me []float64
+			var maxDevT, maxDevE float64
+			for _, pt := range pts {
+				perfT := (pt.W / p.PeakFlopsRate()) / float64(pt.Time)
+				perfE := pt.W * p.EpsFlopHat() / float64(pt.Energy)
+				mx = append(mx, pt.Intensity)
+				mt = append(mt, perfT)
+				me = append(me, perfE)
+				devT := 1 - perfT/p.RooflineTime(pt.Intensity)
+				devE := 1 - perfE/p.ArchlineEnergy(pt.Intensity)
+				if !pt.Throttled {
+					if devT > maxDevT {
+						maxDevT = devT
+					}
+					if devE > maxDevE {
+						maxDevE = devE
+					}
+				}
+			}
+			rep.Comparisons = append(rep.Comparisons,
+				Comparison{Name: fc.key + " worst untrottled time shortfall vs roofline", Paper: 0.27, Measured: maxDevT, Tol: 0,
+					Note: "paper's worst achieved fraction is 73% of peak (CPU bandwidth)"},
+				Comparison{Name: fc.key + " worst unthrottled energy shortfall vs arch", Paper: 0.27, Measured: maxDevE, Tol: 0,
+					Note: "informational"},
+			)
+
+			cTime := &chart.Chart{
+				Title:  fmt.Sprintf("%s: %s (%v) — Time", id, fc.m.Name, prec),
+				XLabel: "Intensity (flop:byte)",
+				YLabel: "Normalized performance (time)",
+				LogX:   true, LogY: true,
+				Series: []chart.Series{
+					{Name: "roofline model", X: grid, Y: modelT, Marker: '.', Line: true},
+					{Name: "measured", X: mx, Y: mt, Marker: 'o'},
+				},
+				VLines: []chart.VLine{{X: p.BalanceTime(), Label: "Bτ"}},
+			}
+			cEnergy := &chart.Chart{
+				Title:  fmt.Sprintf("%s: %s (%v) — Energy", id, fc.m.Name, prec),
+				XLabel: "Intensity (flop:byte)",
+				YLabel: "Normalized performance (energy)",
+				LogX:   true, LogY: true,
+				Series: []chart.Series{
+					{Name: "arch line model", X: grid, Y: modelE, Marker: '.', Line: true},
+					{Name: "measured", X: mx, Y: me, Marker: 'o'},
+				},
+				VLines: []chart.VLine{
+					{X: p.HalfEfficiencyIntensity(), Label: "B̂ε(y=1/2)"},
+					{X: p0.BalanceEnergy(), Label: "Bε const=0"},
+				},
+			}
+			// Side-by-side time/energy panels, matching the paper's
+			// subplot layout.
+			cTime.Width, cTime.Height = 48, 16
+			cEnergy.Width, cEnergy.Height = 48, 16
+			tTxt, err := cTime.RenderASCII()
+			if err != nil {
+				return nil, err
+			}
+			eTxt, err := cEnergy.RenderASCII()
+			if err != nil {
+				return nil, err
+			}
+			text.WriteString(chart.ComposeGrid([][]string{{tTxt, eTxt}}, 4))
+			text.WriteString("\n")
+			for suffix, c := range map[string]*chart.Chart{"time": cTime, "energy": cEnergy} {
+				if err := writeSVG(cfg, fmt.Sprintf("%s-%s-%s", id, sanitize(fc.key), suffix), c); err != nil {
+					return nil, err
+				}
+			}
+		}
+		rep.Text = text.String()
+		return rep, nil
+	}
+}
+
+func figure5(prec machine.Precision, id string) func(Config) (*Report, error) {
+	return func(cfg Config) (*Report, error) {
+		rep := &Report{ID: id, Title: fmt.Sprintf("Measured power vs power-line model (%v precision)", prec)}
+		var text strings.Builder
+		for ci, fc := range fig4Cases(prec) {
+			p := core.FromMachine(fc.m, prec)
+			eng, err := sim.New(fc.m, sim.DefaultConfig(cfg.Seed+100+int64(ci)*7))
+			if err != nil {
+				return nil, err
+			}
+			tuning, _, err := microbench.AutoTune(eng, prec)
+			if err != nil {
+				return nil, err
+			}
+			reps := 100
+			n := 11
+			if cfg.Fast {
+				reps, n = 5, 9
+			}
+			pts, err := microbench.Sweep(eng, prec, microbench.SweepConfig{
+				Intensities: core.LogGrid(0.25, fc.hiI, n),
+				VolumeBytes: 1 << 28,
+				Reps:        reps,
+				Tuning:      tuning,
+			})
+			if err != nil {
+				return nil, err
+			}
+			grid := core.LogGrid(0.25, fc.hiI, 49)
+			model := make([]float64, len(grid))
+			capped := make([]float64, len(grid))
+			for i, x := range grid {
+				model[i] = p.PowerLine(x)
+				capped[i] = p.CappedPowerLine(x)
+			}
+			var mx, mp []float64
+			maxMeasured := 0.0
+			for _, pt := range pts {
+				mx = append(mx, pt.Intensity)
+				mp = append(mp, float64(pt.Power))
+				if float64(pt.Power) > maxMeasured {
+					maxMeasured = float64(pt.Power)
+				}
+			}
+			c := &chart.Chart{
+				Title:  fmt.Sprintf("%s: %s (%v) — Power", id, fc.m.Name, prec),
+				XLabel: "Intensity (flop:byte)",
+				YLabel: "Average power (W)",
+				LogX:   true,
+				Series: []chart.Series{
+					{Name: "power-line model", X: grid, Y: model, Marker: '.', Line: true},
+					{Name: "measured", X: mx, Y: mp, Marker: 'o'},
+				},
+				VLines: []chart.VLine{{X: p.BalanceTime(), Label: "Bτ"}},
+			}
+			if p.PowerCap > 0 {
+				c.Series = append(c.Series, chart.Series{Name: "capped model", X: grid, Y: capped, Marker: 'c', Line: true})
+			}
+			if fc.m.RatedPower > 0 {
+				c.HLines = append(c.HLines, chart.HLine{Y: float64(fc.m.RatedPower), Label: "rated"})
+			}
+			// The paper's Fig. 5 wattage contour annotations.
+			for _, contour := range fig5Contours(fc.key, prec) {
+				c.HLines = append(c.HLines, chart.HLine{Y: contour, Label: fmt.Sprintf("%.0f W", contour)})
+			}
+			txt, err := c.RenderASCII()
+			if err != nil {
+				return nil, err
+			}
+			text.WriteString(txt)
+			text.WriteString("\n")
+			if err := writeSVG(cfg, fmt.Sprintf("%s-%s", id, sanitize(fc.key)), c); err != nil {
+				return nil, err
+			}
+
+			rep.Comparisons = append(rep.Comparisons,
+				Comparison{Name: fc.key + " model max power (W)", Paper: paperMaxPower(fc.key, prec), Measured: p.MaxPower(), Tol: 0.10},
+			)
+			if fc.m.Name == "NVIDIA GTX 580" && prec == machine.Single {
+				rep.Comparisons = append(rep.Comparisons,
+					Comparison{Name: "GTX 580 SP: measured max power exceeds 244 W rating", Paper: 1,
+						Measured: boolTo01(maxMeasured > 244), Tol: 1e-9,
+						Note: "the paper's benchmark 'already begins to exceed' the rating"},
+					Comparison{Name: "GTX 580 SP: measured max stays below model peak 387 W", Paper: 1,
+						Measured: boolTo01(maxMeasured < 387), Tol: 1e-9,
+						Note: "hard cap bends the measured curve below the model near Bτ"},
+				)
+			}
+		}
+		rep.Text = text.String()
+		return rep, nil
+	}
+}
+
+// fig5Contours returns the wattage contour lines the paper draws on
+// each Fig. 5 subplot (120/160/220/260 W for the GPU double panel,
+// 120–180 W for the CPU panels, 120–380 W for the GPU single panel).
+func fig5Contours(key string, prec machine.Precision) []float64 {
+	switch {
+	case key == "GTX 580" && prec == machine.Double:
+		return []float64{120, 160, 220, 260}
+	case key == "GTX 580" && prec == machine.Single:
+		return []float64{120, 220, 280, 380}
+	default:
+		return []float64{120, 140, 160, 180}
+	}
+}
+
+// paperMaxPower reads the approximate peak wattages visible in Fig. 5's
+// contour annotations: ~260 W (GPU DP), ~180 W (CPU DP), ~387 W
+// (GPU SP, quoted in the text), ~180 W (CPU SP).
+func paperMaxPower(key string, prec machine.Precision) float64 {
+	switch {
+	case key == "GTX 580" && prec == machine.Single:
+		return 387
+	case key == "GTX 580" && prec == machine.Double:
+		return 260
+	default:
+		return 180
+	}
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	reports := []*Report{
+		{
+			ID: "a", Title: "A",
+			Comparisons: []Comparison{
+				{Name: "good", Paper: 1, Measured: 1, Tol: 0.01},
+				{Name: "bad", Paper: 1, Measured: 5, Tol: 0.01, Note: "why"},
+			},
+		},
+		{ID: "b", Title: "B"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"id": "a"`, `"ok": false`, `"note": "why"`, `"deviations": 1`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+	dev, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev["a"] != 1 || dev["b"] != 0 {
+		t.Errorf("deviations = %v", dev)
+	}
+	if _, err := ReadJSON(strings.NewReader("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+}
+
+func TestJSONFromLiveExperiment(t *testing.T) {
+	e, _ := ByID("tableII")
+	rep, err := e.Run(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev["tableII"] != 0 {
+		t.Errorf("tableII deviations = %d", dev["tableII"])
+	}
+}

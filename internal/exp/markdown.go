@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMarkdown renders a set of reports as the EXPERIMENTS.md document:
+// a summary preamble, one section per experiment with a
+// paper-vs-reproduced table, and the rendered artifact in a fenced
+// block.
+func WriteMarkdown(w io.Writer, reports []*Report, preamble string) error {
+	if _, err := fmt.Fprintf(w, "# EXPERIMENTS — paper vs reproduced\n\n"); err != nil {
+		return err
+	}
+	if preamble != "" {
+		if _, err := fmt.Fprintf(w, "%s\n\n", strings.TrimSpace(preamble)); err != nil {
+			return err
+		}
+	}
+
+	// Summary table.
+	total, deviating := 0, 0
+	for _, r := range reports {
+		for _, c := range r.Comparisons {
+			if c.Tol == 0 {
+				continue
+			}
+			total++
+			if !c.Ok() {
+				deviating++
+			}
+		}
+	}
+	fmt.Fprintf(w, "**%d tolerance-checked comparisons across %d experiments; %d deviate.**\n\n",
+		total, len(reports), deviating)
+	fmt.Fprintf(w, "| id | experiment | checks | deviations |\n|---|---|---|---|\n")
+	for _, r := range reports {
+		checks := 0
+		for _, c := range r.Comparisons {
+			if c.Tol != 0 {
+				checks++
+			}
+		}
+		fmt.Fprintf(w, "| [%s](#%s) | %s | %d | %d |\n", r.ID, anchor(r.ID), r.Title, checks, len(r.Failures()))
+	}
+	fmt.Fprintln(w)
+
+	for _, r := range reports {
+		fmt.Fprintf(w, "## %s — %s\n\n", r.ID, r.Title)
+		if len(r.Comparisons) > 0 {
+			fmt.Fprintf(w, "| quantity | paper | reproduced | status |\n|---|---|---|---|\n")
+			for _, c := range r.Comparisons {
+				status := "ok"
+				switch {
+				case c.Tol == 0:
+					status = "info"
+				case !c.Ok():
+					status = "**DEVIATES**"
+				}
+				note := ""
+				if c.Note != "" {
+					note = " — " + c.Note
+				}
+				fmt.Fprintf(w, "| %s | %.6g | %.6g | %s%s |\n",
+					escapeMD(c.Name), c.Paper, c.Measured, status, escapeMD(note))
+			}
+			fmt.Fprintln(w)
+		}
+		if r.Text != "" {
+			fmt.Fprintf(w, "```\n%s```\n\n", ensureNL(r.Text))
+		}
+	}
+	return nil
+}
+
+func anchor(id string) string { return strings.ToLower(id) }
+
+func escapeMD(s string) string {
+	return strings.NewReplacer("|", "\\|", "\n", " ").Replace(s)
+}
+
+func ensureNL(s string) string {
+	if strings.HasSuffix(s, "\n") {
+		return s
+	}
+	return s + "\n"
+}

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteMarkdown(t *testing.T) {
+	reports := []*Report{
+		{
+			ID: "tableX", Title: "A table",
+			Comparisons: []Comparison{
+				{Name: "good|pipe", Paper: 1, Measured: 1.001, Tol: 0.01},
+				{Name: "bad", Paper: 1, Measured: 3, Tol: 0.01},
+				{Name: "informational", Paper: 5, Measured: 6, Note: "context"},
+			},
+			Text: "body text",
+		},
+		{ID: "figY", Title: "A figure"},
+	}
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, reports, "preamble here"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# EXPERIMENTS — paper vs reproduced",
+		"preamble here",
+		"**2 tolerance-checked comparisons across 2 experiments; 1 deviate.**",
+		"## tableX — A table",
+		"| good\\|pipe | 1 | 1.001 | ok |",
+		"**DEVIATES**",
+		"| informational | 5 | 6 | info — context |",
+		"```\nbody text\n```",
+		"[figY](#figy)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestWriteMarkdownEmptyPreamble(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 tolerance-checked comparisons across 0 experiments") {
+		t.Error("empty summary wrong")
+	}
+}

@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/microbench"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func init() {
+	register(Experiment{ID: "tableI", Title: "Model parameter glossary instantiated per platform (Table I)", Run: runTableI})
+	register(Experiment{ID: "tableII", Title: "Sample Fermi model parameters (Table II)", Run: runTableII})
+	register(Experiment{ID: "tableIII", Title: "Platform peak capabilities (Table III)", Run: runTableIII})
+	register(Experiment{ID: "tableIV", Title: "Fitted energy coefficients via eq. 9 (Table IV)", Run: runTableIV})
+}
+
+func runTableI(cfg Config) (*Report, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-9s %12s %12s %12s %12s %10s %8s %8s %8s\n",
+		"machine", "precision", "τflop", "τmem", "εflop", "εmem", "π0", "Bτ", "Bε", "η")
+	for _, key := range []string{"fermi", "gtx580", "i7-950"} {
+		m := machine.Catalog()[key]
+		for _, prec := range []machine.Precision{machine.Single, machine.Double} {
+			p := core.FromMachine(m, prec)
+			fmt.Fprintf(&sb, "%-10s %-9s %12s %12s %12s %12s %10s %8.3g %8.3g %8.3g\n",
+				key, prec,
+				units.FormatSI(p.TauFlop, "s", 3),
+				units.FormatSI(p.TauMem, "s", 3),
+				units.FormatSI(p.EpsFlop, "J", 3),
+				units.FormatSI(p.EpsMem, "J", 3),
+				units.FormatSI(p.Pi0, "W", 3),
+				p.BalanceTime(), p.BalanceEnergy(), p.EtaFlop())
+		}
+	}
+	return &Report{ID: "tableI", Title: "Model parameters per platform", Text: sb.String()}, nil
+}
+
+func runTableII(Config) (*Report, error) {
+	m := machine.FermiTableII()
+	p := core.FromMachine(m, machine.Double)
+	return &Report{
+		ID:    "tableII",
+		Title: "Fermi-class GPU sample parameters",
+		Comparisons: []Comparison{
+			{Name: "τflop (ps/flop)", Paper: 1.9, Measured: p.TauFlop * 1e12, Tol: 0.03},
+			{Name: "τmem (ps/byte)", Paper: 6.9, Measured: p.TauMem * 1e12, Tol: 0.01},
+			{Name: "Bτ (flop/byte)", Paper: 3.6, Measured: p.BalanceTime(), Tol: 0.01},
+			{Name: "εflop (pJ/flop)", Paper: 25, Measured: p.EpsFlop * 1e12, Tol: 1e-9},
+			{Name: "εmem (pJ/byte)", Paper: 360, Measured: p.EpsMem * 1e12, Tol: 1e-9},
+			{Name: "Bε (flop/byte)", Paper: 14.4, Measured: p.BalanceEnergy(), Tol: 0.001},
+		},
+	}, nil
+}
+
+func runTableIII(Config) (*Report, error) {
+	gpu := machine.GTX580()
+	cpu := machine.CoreI7950()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %14s %14s %12s %10s\n", "device", "SP GFLOP/s", "DP GFLOP/s", "GB/s", "rated W")
+	for _, m := range []*machine.Machine{cpu, gpu} {
+		fmt.Fprintf(&sb, "%-20s %14.2f %14.2f %12.1f %10.0f\n",
+			m.Name, m.SP.PeakFlops/1e9, m.DP.PeakFlops/1e9, m.Bandwidth/1e9, float64(m.RatedPower))
+	}
+	return &Report{
+		ID:    "tableIII",
+		Title: "Experimental platforms",
+		Comparisons: []Comparison{
+			{Name: "i7-950 SP peak (GFLOP/s)", Paper: 106.56, Measured: cpu.SP.PeakFlops / 1e9, Tol: 1e-9},
+			{Name: "i7-950 DP peak (GFLOP/s)", Paper: 53.28, Measured: cpu.DP.PeakFlops / 1e9, Tol: 1e-9},
+			{Name: "i7-950 bandwidth (GB/s)", Paper: 25.6, Measured: cpu.Bandwidth / 1e9, Tol: 1e-9},
+			{Name: "i7-950 TDP (W)", Paper: 130, Measured: float64(cpu.RatedPower), Tol: 1e-9},
+			{Name: "GTX 580 SP peak (GFLOP/s)", Paper: 1581.06, Measured: gpu.SP.PeakFlops / 1e9, Tol: 1e-9},
+			{Name: "GTX 580 DP peak (GFLOP/s)", Paper: 197.63, Measured: gpu.DP.PeakFlops / 1e9, Tol: 1e-9},
+			{Name: "GTX 580 bandwidth (GB/s)", Paper: 192.4, Measured: gpu.Bandwidth / 1e9, Tol: 1e-9},
+			{Name: "GTX 580 max rating (W)", Paper: 244, Measured: float64(gpu.RatedPower), Tol: 1e-9},
+		},
+		Text: sb.String(),
+	}, nil
+}
+
+// sweepBoth runs the intensity microbenchmark for both precisions on a
+// machine and returns the pooled points.
+func sweepBoth(cfg Config, m *machine.Machine, seed int64) ([]microbench.Point, error) {
+	eng, err := sim.New(m, sim.DefaultConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	tuning, _, err := microbench.AutoTune(eng, machine.Single)
+	if err != nil {
+		return nil, err
+	}
+	reps := 100
+	points := 13
+	if cfg.Fast {
+		reps = 10
+		points = 9
+	}
+	var out []microbench.Point
+	for _, prec := range []machine.Precision{machine.Single, machine.Double} {
+		hi := 64.0
+		if prec == machine.Double {
+			hi = 16
+		}
+		pts, err := microbench.Sweep(eng, prec, microbench.SweepConfig{
+			Intensities: core.LogGrid(0.25, hi, points),
+			VolumeBytes: 1 << 28,
+			Reps:        reps,
+			Tuning:      tuning,
+			KeepReps:    true, // the paper regresses on every run
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+func runTableIV(cfg Config) (*Report, error) {
+	rep := &Report{ID: "tableIV", Title: "Fitted energy coefficients (eq. 9)"}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %12s %12s %14s %10s %10s\n", "device", "εs (pJ)", "εd (pJ)", "εmem (pJ/B)", "π0 (W)", "R²")
+	paper := map[string][4]float64{
+		"NVIDIA GTX 580":    {99.7, 212, 513, 122},
+		"Intel Core i7-950": {371, 670, 795, 122},
+	}
+	// With the full 100-rep sweep the fit sees thousands of
+	// observations and the p-values land far below the paper's 1e-14;
+	// the fast test-mode sweep has ~200 observations, so the check is
+	// correspondingly looser there.
+	pTol := 1e-14
+	if cfg.Fast {
+		pTol = 1e-3
+	}
+	for i, m := range []*machine.Machine{machine.GTX580(), machine.CoreI7950()} {
+		pts, err := sweepBoth(cfg, m, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		coef, _, err := microbench.FitEq9(pts)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&sb, "%-20s %12.1f %12.1f %14.1f %10.1f %10.6f\n",
+			m.Name, coef.EpsSingle*1e12, coef.EpsDouble*1e12, coef.EpsMem*1e12, coef.Pi0, coef.R2)
+		want := paper[m.Name]
+		tol := 0.08
+		rep.Comparisons = append(rep.Comparisons,
+			Comparison{Name: m.Name + " εs (pJ/flop)", Paper: want[0], Measured: coef.EpsSingle * 1e12, Tol: tol},
+			Comparison{Name: m.Name + " εd (pJ/flop)", Paper: want[1], Measured: coef.EpsDouble * 1e12, Tol: tol},
+			Comparison{Name: m.Name + " εmem (pJ/byte)", Paper: want[2], Measured: coef.EpsMem * 1e12, Tol: tol},
+			Comparison{Name: m.Name + " π0 (W)", Paper: want[3], Measured: coef.Pi0, Tol: tol},
+			Comparison{Name: m.Name + " max p-value", Paper: 0, Measured: coef.MaxPValue, Tol: pTol,
+				Note: "paper reports p-values below 1e-14 (full sweep reproduces this)"},
+		)
+	}
+	rep.Text = sb.String()
+	return rep, nil
+}

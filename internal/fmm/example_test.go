@@ -1,0 +1,29 @@
+package fmm_test
+
+import (
+	"fmt"
+
+	"repro/internal/fmm"
+)
+
+// Build the octree, compute the near-field potentials with the
+// Algorithm-1 kernel, and confirm the structural invariants.
+func ExampleBuild() {
+	pts := fmm.UniformPoints(1000, 42)
+	tree, err := fmm.Build(pts, 64, 10)
+	if err != nil {
+		panic(err)
+	}
+	u := tree.BuildULists()
+	pairs, err := tree.InteractF32(u)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("leaves: %d\n", len(tree.Leaves))
+	fmt.Printf("interactions: %d (11 flops each)\n", pairs)
+	fmt.Printf("tree valid: %v\n", tree.Validate() == nil)
+	// Output:
+	// leaves: 64
+	// interactions: 232928 (11 flops each)
+	// tree valid: true
+}

@@ -1,0 +1,160 @@
+package fmm
+
+import (
+	"errors"
+	"math"
+)
+
+// FlopsPerPair is the paper's Algorithm-1 count: three subtractions,
+// three multiplies and two adds for r, one reciprocal square root
+// (counted as one flop), one multiply and one add for the update —
+// 11 scalar flops per (target, source) pair.
+const FlopsPerPair = 11
+
+// Interact runs the U-list phase in float64 (the reference CPU kernel):
+// for every target leaf B, every target t ∈ B, every source node
+// S ∈ U(B) and every source s ∈ S, accumulate φ_t += d_s / |t−s|.
+// Self-pairs (r = 0) are skipped. Phi is overwritten. Returns the
+// number of interacting pairs actually evaluated (excluding skipped
+// self-pairs).
+func (t *Tree) Interact(u ULists) (int64, error) {
+	if len(u) != len(t.Leaves) {
+		return 0, errors.New("fmm: U-list count does not match leaves")
+	}
+	p := t.Pts
+	for i := range p.Phi {
+		p.Phi[i] = 0
+	}
+	var pairs int64
+	for bi, li := range t.Leaves {
+		b := &t.Nodes[li]
+		for ti := b.Start; ti < b.End; ti++ {
+			tx, ty, tz := p.X[ti], p.Y[ti], p.Z[ti]
+			phi := 0.0
+			for _, si := range u[bi] {
+				s := &t.Nodes[si]
+				for sj := s.Start; sj < s.End; sj++ {
+					dx := tx - p.X[sj]
+					dy := ty - p.Y[sj]
+					dz := tz - p.Z[sj]
+					r := dx*dx + dy*dy + dz*dz
+					if r == 0 {
+						continue
+					}
+					phi += p.D[sj] / math.Sqrt(r)
+					pairs++
+				}
+			}
+			p.Phi[ti] += phi
+		}
+	}
+	return pairs, nil
+}
+
+// InteractF32 runs the same phase in float32 arithmetic with a
+// reciprocal-square-root formulation (w = rsqrt(r); φ += d·w) — the
+// GPU-style kernel of Algorithm 1. Results land in Phi (widened back
+// to float64). Returns evaluated pairs.
+func (t *Tree) InteractF32(u ULists) (int64, error) {
+	if len(u) != len(t.Leaves) {
+		return 0, errors.New("fmm: U-list count does not match leaves")
+	}
+	p := t.Pts
+	for i := range p.Phi {
+		p.Phi[i] = 0
+	}
+	var pairs int64
+	for bi, li := range t.Leaves {
+		b := &t.Nodes[li]
+		for ti := b.Start; ti < b.End; ti++ {
+			tx, ty, tz := float32(p.X[ti]), float32(p.Y[ti]), float32(p.Z[ti])
+			var phi float32
+			for _, si := range u[bi] {
+				s := &t.Nodes[si]
+				for sj := s.Start; sj < s.End; sj++ {
+					dx := tx - float32(p.X[sj])
+					dy := ty - float32(p.Y[sj])
+					dz := tz - float32(p.Z[sj])
+					r := dx*dx + dy*dy + dz*dz
+					if r == 0 {
+						continue
+					}
+					w := rsqrtf(r)
+					phi += float32(p.D[sj]) * w
+					pairs++
+				}
+			}
+			p.Phi[ti] += float64(phi)
+		}
+	}
+	return pairs, nil
+}
+
+// rsqrtf approximates the hardware reciprocal square root: the
+// fast inverse-square-root bit trick refined by two Newton iterations,
+// matching the accuracy class of the GPU rsqrtf instruction.
+func rsqrtf(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	i := math.Float32bits(x)
+	i = 0x5f3759df - i>>1
+	y := math.Float32frombits(i)
+	y = y * (1.5 - 0.5*x*y*y)
+	y = y * (1.5 - 0.5*x*y*y)
+	return y
+}
+
+// DirectNearField computes the reference potential by brute force over
+// exactly the pairs the U-list visits (all pairs whose leaves touch),
+// without going through the leaf-loop structure — an independent check
+// of both the kernel and the U-list construction.
+func (t *Tree) DirectNearField(u ULists) ([]float64, error) {
+	if len(u) != len(t.Leaves) {
+		return nil, errors.New("fmm: U-list count does not match leaves")
+	}
+	p := t.Pts
+	// Leaf id per point.
+	leafOf := make([]int, p.Len())
+	for bi, li := range t.Leaves {
+		b := &t.Nodes[li]
+		for i := b.Start; i < b.End; i++ {
+			leafOf[i] = bi
+		}
+	}
+	// Adjacency set keyed by leaf pair.
+	adj := make(map[[2]int]bool)
+	for bi := range u {
+		for _, si := range u[bi] {
+			// Map node index back to leaf order.
+			for bj, lj := range t.Leaves {
+				if lj == si {
+					adj[[2]int{bi, bj}] = true
+				}
+			}
+		}
+	}
+	out := make([]float64, p.Len())
+	for ti := 0; ti < p.Len(); ti++ {
+		for sj := 0; sj < p.Len(); sj++ {
+			if !adj[[2]int{leafOf[ti], leafOf[sj]}] {
+				continue
+			}
+			dx := p.X[ti] - p.X[sj]
+			dy := p.Y[ti] - p.Y[sj]
+			dz := p.Z[ti] - p.Z[sj]
+			r := dx*dx + dy*dy + dz*dz
+			if r == 0 {
+				continue
+			}
+			out[ti] += p.D[sj] / math.Sqrt(r)
+		}
+	}
+	return out, nil
+}
+
+// Work returns W for the phase: 11 flops per visited pair. The paper
+// derives flop counts "from the input data", i.e. from the pair count
+// including the structure of the loops, so skipped self-pairs are not
+// charged.
+func Work(pairs int64) float64 { return float64(pairs) * FlopsPerPair }

@@ -1,0 +1,80 @@
+package fmm
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// InteractF32Parallel runs the float32 U-list kernel with a pool of
+// worker goroutines, one task per target leaf. Target leaves own
+// disjoint ranges of Phi, so workers write without synchronisation —
+// the same decomposition the paper's GPU kernel uses (one thread block
+// per target leaf). workers ≤ 0 selects GOMAXPROCS. Returns the number
+// of evaluated pairs.
+func (t *Tree) InteractF32Parallel(u ULists, workers int) (int64, error) {
+	if len(u) != len(t.Leaves) {
+		return 0, errors.New("fmm: U-list count does not match leaves")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := t.Pts
+	for i := range p.Phi {
+		p.Phi[i] = 0
+	}
+
+	tasks := make(chan int)
+	pairCounts := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var pairs int64
+			for bi := range tasks {
+				pairs += t.interactLeafF32(u, bi)
+			}
+			pairCounts[w] = pairs
+		}(w)
+	}
+	for bi := range t.Leaves {
+		tasks <- bi
+	}
+	close(tasks)
+	wg.Wait()
+
+	var total int64
+	for _, c := range pairCounts {
+		total += c
+	}
+	return total, nil
+}
+
+// interactLeafF32 evaluates one target leaf's interactions; it touches
+// only that leaf's Phi range.
+func (t *Tree) interactLeafF32(u ULists, bi int) int64 {
+	p := t.Pts
+	b := &t.Nodes[t.Leaves[bi]]
+	var pairs int64
+	for ti := b.Start; ti < b.End; ti++ {
+		tx, ty, tz := float32(p.X[ti]), float32(p.Y[ti]), float32(p.Z[ti])
+		var phi float32
+		for _, si := range u[bi] {
+			s := &t.Nodes[si]
+			for sj := s.Start; sj < s.End; sj++ {
+				dx := tx - float32(p.X[sj])
+				dy := ty - float32(p.Y[sj])
+				dz := tz - float32(p.Z[sj])
+				r := dx*dx + dy*dy + dz*dz
+				if r == 0 {
+					continue
+				}
+				phi += float32(p.D[sj]) * rsqrtf(r)
+				pairs++
+			}
+		}
+		p.Phi[ti] += float64(phi)
+	}
+	return pairs
+}

@@ -1,0 +1,74 @@
+package fmm
+
+import (
+	"testing"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	tr, u := buildSmall(t, 1500, 64, 21)
+	serialPairs, err := tr.InteractF32(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := append([]float64(nil), tr.Pts.Phi...)
+	for _, workers := range []int{1, 2, 4, 0} {
+		parPairs, err := tr.InteractF32Parallel(u, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parPairs != serialPairs {
+			t.Errorf("workers=%d: pairs %d != serial %d", workers, parPairs, serialPairs)
+		}
+		for i := range serial {
+			// Identical arithmetic per leaf, so results are bit-equal.
+			if tr.Pts.Phi[i] != serial[i] {
+				t.Fatalf("workers=%d: φ[%d] = %v != serial %v", workers, i, tr.Pts.Phi[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestParallelErrors(t *testing.T) {
+	tr, _ := buildSmall(t, 100, 16, 1)
+	if _, err := tr.InteractF32Parallel(ULists{}, 2); err == nil {
+		t.Error("mismatched U-lists accepted")
+	}
+}
+
+func TestParallelRace(t *testing.T) {
+	// Run under -race in CI: concurrent leaf tasks must not conflict.
+	tr, u := buildSmall(t, 2000, 32, 5)
+	if _, err := tr.InteractF32Parallel(u, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInteractF32Serial(b *testing.B) {
+	p := UniformPoints(4000, 1)
+	tr, err := Build(p, 64, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := tr.BuildULists()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.InteractF32(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInteractF32Parallel(b *testing.B) {
+	p := UniformPoints(4000, 1)
+	tr, err := Build(p, 64, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := tr.BuildULists()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.InteractF32Parallel(u, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

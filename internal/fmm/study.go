@@ -1,0 +1,279 @@
+package fmm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// StudyConfig parameterises the §V-C energy-estimation study.
+type StudyConfig struct {
+	// Machine is the platform (defaults to the GTX 580, as in the paper).
+	Machine *machine.Machine
+	// N is the number of particles (default 4096).
+	N int
+	// LeafSize is q, the tree split threshold (default 256; the paper
+	// notes q is "typically on the order of hundreds or thousands").
+	LeafSize int
+	// MaxDepth caps the octree depth (default 8).
+	MaxDepth int
+	// Seed drives point generation and measurement noise.
+	Seed int64
+	// Variants is the population to study (default GenerateVariants()).
+	Variants []Variant
+	// NoiseSD is the relative energy-measurement noise (default 0.015).
+	NoiseSD float64
+	// SharedEnergyPerByte is the ground-truth scratchpad staging cost
+	// in Joules per byte (default 30 pJ).
+	SharedEnergyPerByte float64
+	// TextureEnergyPerByte is the texture-path cost (default 90 pJ).
+	TextureEnergyPerByte float64
+}
+
+func (c *StudyConfig) defaults() {
+	if c.Machine == nil {
+		c.Machine = machine.GTX580()
+	}
+	if c.N == 0 {
+		c.N = 4096
+	}
+	if c.LeafSize == 0 {
+		c.LeafSize = 256
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 8
+	}
+	if c.Variants == nil {
+		c.Variants = GenerateVariants()
+	}
+	if c.NoiseSD == 0 {
+		c.NoiseSD = 0.015
+	}
+	if c.SharedEnergyPerByte == 0 {
+		c.SharedEnergyPerByte = 30e-12
+	}
+	if c.TextureEnergyPerByte == 0 {
+		c.TextureEnergyPerByte = 90e-12
+	}
+}
+
+// VariantResult is the study's record for one variant.
+type VariantResult struct {
+	// Variant identifies the implementation.
+	Variant Variant
+	// W is the flop count (shared by all variants).
+	W float64
+	// Traffic is the counter-level byte accounting.
+	Traffic Traffic
+	// Time is the simulated execution time in seconds.
+	Time float64
+	// MeasuredEnergy is the noisy ground-truth energy in Joules.
+	MeasuredEnergy float64
+	// Eq2Estimate is the basic two-level model estimate (eq. 2 with
+	// measured time and counter-derived Q).
+	Eq2Estimate float64
+	// RefinedEstimate adds the fitted cache term (only meaningful for
+	// cache-only variants, as in the paper).
+	RefinedEstimate float64
+}
+
+// Eq2RelError is the signed relative error of the eq. 2 estimate:
+// negative means underestimation.
+func (r VariantResult) Eq2RelError() float64 {
+	return (r.Eq2Estimate - r.MeasuredEnergy) / r.MeasuredEnergy
+}
+
+// RefinedRelError is the absolute relative error of the refined
+// estimate.
+func (r VariantResult) RefinedRelError() float64 {
+	return stats.RelErr(r.RefinedEstimate, r.MeasuredEnergy)
+}
+
+// StudyResult aggregates the study.
+type StudyResult struct {
+	// MachineName records the platform.
+	MachineName string
+	// Pairs is the U-list pair count of the instance.
+	Pairs int64
+	// W is the phase's flop count.
+	W float64
+	// Results holds one record per variant.
+	Results []VariantResult
+	// FittedCachePJ is the recovered cache energy per byte in pJ —
+	// the paper's 187 pJ/B.
+	FittedCachePJ float64
+	// TrueCachePJ is the planted ground truth, for comparison.
+	TrueCachePJ float64
+	// MeanUnderestimate is the mean of -Eq2RelError over cache-only
+	// variants — the paper's "lower by 33% on average".
+	MeanUnderestimate float64
+	// MedianRefinedErr is the median RefinedRelError over cache-only
+	// variants excluding the reference — the paper's 4.1%.
+	MedianRefinedErr float64
+	// CacheOnlyCount is the size of the L1/L2-only class.
+	CacheOnlyCount int
+}
+
+// RunStudy reproduces §V-C: build one FMM instance, replay every
+// variant's memory behaviour through the cache simulator, "measure"
+// each variant's energy on the simulated platform, estimate it with the
+// basic two-level model (eq. 2), fit the lumped cache energy from the
+// reference implementation, and re-estimate the L1/L2-only class.
+func RunStudy(cfg StudyConfig) (*StudyResult, error) {
+	cfg.defaults()
+	if len(cfg.Machine.Caches) == 0 {
+		return nil, fmt.Errorf("fmm: machine %s has no cache hierarchy", cfg.Machine.Name)
+	}
+	if len(cfg.Variants) == 0 {
+		return nil, errors.New("fmm: no variants")
+	}
+
+	pts := UniformPoints(cfg.N, cfg.Seed)
+	tree, err := Build(pts, cfg.LeafSize, cfg.MaxDepth)
+	if err != nil {
+		return nil, err
+	}
+	u := tree.BuildULists()
+	pairs := tree.Pairs(u)
+	w := Work(pairs)
+
+	h, err := cache.FromMachine(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	params := core.FromMachine(cfg.Machine, machine.Single)
+	peak := cfg.Machine.SP.PeakFlops
+	rng := stats.NewRand(cfg.Seed + 1)
+
+	// Ground-truth per-level cache energies from the machine description.
+	levelEnergy := map[string]float64{}
+	for _, cl := range cfg.Machine.Caches {
+		levelEnergy[cl.Name] = float64(cl.EnergyPerByte)
+	}
+
+	res := &StudyResult{
+		MachineName: cfg.Machine.Name,
+		Pairs:       pairs,
+		W:           w,
+		TrueCachePJ: float64(cfg.Machine.Caches[0].EnergyPerByte) * 1e12,
+	}
+
+	refIdx := -1
+	for _, v := range cfg.Variants {
+		tr, err := tree.SimulateTraffic(u, v, h)
+		if err != nil {
+			return nil, err
+		}
+		// Attach ground-truth level costs for the energy computation.
+		for i := range tr.Levels {
+			tr.Levels[i].EpsPerByte = levelEnergy[tr.Levels[i].Name]
+		}
+		t := w / (peak * v.Efficiency())
+
+		// Ground truth: flops + DRAM + per-level cache + staging +
+		// constant power, with measurement noise.
+		k := core.Kernel{W: w, Q: tr.DRAMReadBytes + tr.DRAMWriteBytes}
+		trueE, err := params.MultiLevelEnergy(k, tr.Levels, t)
+		if err != nil {
+			return nil, err
+		}
+		trueE += tr.SharedBytes*cfg.SharedEnergyPerByte + tr.TextureBytes*cfg.TextureEnergyPerByte
+		measured := trueE * rng.RelNoise(cfg.NoiseSD)
+
+		// The estimator only sees counters: the paper derives Q from L2
+		// read misses, so eq. 2 uses DRAM read traffic.
+		eq2 := params.TwoLevelEnergyAt(core.Kernel{W: w, Q: tr.DRAMReadBytes}, t)
+
+		vr := VariantResult{
+			Variant:        v,
+			W:              w,
+			Traffic:        tr,
+			Time:           t,
+			MeasuredEnergy: measured,
+			Eq2Estimate:    eq2,
+		}
+		if v.IsReference() {
+			refIdx = len(res.Results)
+		}
+		res.Results = append(res.Results, vr)
+	}
+	if refIdx < 0 {
+		return nil, errors.New("fmm: variant population lacks the reference implementation (SoA, cache-only, tile 1, unroll 1, width 1)")
+	}
+
+	// Fit the lumped cache cost from the reference variant (§V-C).
+	ref := &res.Results[refIdx]
+	fit, err := core.FitLevelEnergy(ref.MeasuredEnergy, ref.Eq2Estimate, ref.Traffic.CacheBytes())
+	if err != nil {
+		return nil, err
+	}
+	res.FittedCachePJ = fit * 1e12
+
+	// Refined estimates and error statistics over the cache-only class.
+	var under, refined []float64
+	for i := range res.Results {
+		r := &res.Results[i]
+		r.RefinedEstimate = r.Eq2Estimate + fit*r.Traffic.CacheBytes()
+		if !r.Variant.IsCacheOnly() {
+			continue
+		}
+		res.CacheOnlyCount++
+		under = append(under, -r.Eq2RelError())
+		if i != refIdx {
+			refined = append(refined, r.RefinedRelError())
+		}
+	}
+	res.MeanUnderestimate, _ = stats.Mean(under)
+	res.MedianRefinedErr, _ = stats.Median(refined)
+	return res, nil
+}
+
+// IntensityOf returns the phase's operational intensity W/Q for a
+// variant, with Q its DRAM read traffic — confirming the paper's
+// observation that FMM-U is "typically compute-bound".
+func (r VariantResult) IntensityOf() float64 {
+	if r.Traffic.DRAMReadBytes == 0 {
+		return 0
+	}
+	return r.W / r.Traffic.DRAMReadBytes
+}
+
+// TimeOf returns the variant's simulated time as a typed quantity.
+func (r VariantResult) TimeOf() units.Seconds { return units.Seconds(r.Time) }
+
+// SortByEq2Error orders results by most-severe underestimation first
+// (diagnostic helper for reports).
+func SortByEq2Error(rs []VariantResult) {
+	sort.Slice(rs, func(i, j int) bool {
+		return rs[i].Eq2RelError() < rs[j].Eq2RelError()
+	})
+}
+
+// Best picks the study's winning variants under three objectives —
+// fastest (min time), greenest (min measured energy), and best
+// energy–delay product — the selection step a tuner would run over the
+// paper's ~390-variant population.
+func (r *StudyResult) Best() (fastest, greenest, bestEDP VariantResult, err error) {
+	if len(r.Results) == 0 {
+		return VariantResult{}, VariantResult{}, VariantResult{}, errors.New("fmm: empty study")
+	}
+	fastest, greenest, bestEDP = r.Results[0], r.Results[0], r.Results[0]
+	for _, v := range r.Results[1:] {
+		if v.Time < fastest.Time {
+			fastest = v
+		}
+		if v.MeasuredEnergy < greenest.MeasuredEnergy {
+			greenest = v
+		}
+		if v.MeasuredEnergy*v.Time < bestEDP.MeasuredEnergy*bestEDP.Time {
+			bestEDP = v
+		}
+	}
+	return fastest, greenest, bestEDP, nil
+}

@@ -1,0 +1,160 @@
+package fmm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// BroadcastWidth is the SIMT broadcast factor: this many targets are
+// processed in lock-step and share a single load of each source
+// element, so source traffic per (B, S) sweep is one pass over S per
+// BroadcastWidth·TargetTile targets.
+const BroadcastWidth = 4
+
+// wordBytes is the single-precision word size of the GPU kernel.
+const wordBytes = 4
+
+// recordBytes is one particle record (x, y, z, d) in bytes.
+const recordBytes = 4 * wordBytes
+
+// Array base addresses for the SoA layout; 1 GiB apart so arrays never
+// alias in the cache index.
+const (
+	baseX   = 0
+	baseY   = 1 << 30
+	baseZ   = 2 << 30
+	baseD   = 3 << 30
+	basePhi = 4 << 30
+	baseAoS = 5 << 30
+)
+
+// Traffic is the byte accounting of one simulated variant execution —
+// the reproduction's stand-in for the profiler counters of §V-C.
+type Traffic struct {
+	// DRAMReadBytes is demand traffic from DRAM (the paper's "L2 read
+	// misses" counter times the line size).
+	DRAMReadBytes float64
+	// DRAMWriteBytes is write-back traffic to DRAM.
+	DRAMWriteBytes float64
+	// Levels holds per-cache-level served bytes with their ground-truth
+	// energy costs attached.
+	Levels []core.LevelTraffic
+	// SharedBytes is traffic served by scratchpad staging.
+	SharedBytes float64
+	// TextureBytes is traffic served through the texture path.
+	TextureBytes float64
+}
+
+// CacheBytes is the total L1/L2-served traffic.
+func (tr Traffic) CacheBytes() float64 {
+	s := 0.0
+	for _, l := range tr.Levels {
+		s += l.Bytes
+	}
+	return s
+}
+
+// SimulateTraffic replays the memory behaviour of variant v over the
+// U-list phase through the given cache hierarchy (which is reset
+// first) and returns the byte accounting.
+//
+// The access model per target leaf B: target coordinates are loaded
+// once (registers hold them afterwards); for every source node
+// S ∈ U(B), the source records are swept once per
+// ceil(|B| / (TargetTile·BroadcastWidth)) target groups; a cache-only
+// variant replays every sweep through the cache hierarchy, while
+// shared/texture staging loads each block once through the hierarchy
+// and serves the remaining sweeps from the staging path. Without
+// register blocking the per-target potential is re-read and re-written
+// around every (B, S) sweep; register-blocked variants keep it live.
+func (t *Tree) SimulateTraffic(u ULists, v Variant, h *cache.Hierarchy) (Traffic, error) {
+	if len(u) != len(t.Leaves) {
+		return Traffic{}, errors.New("fmm: U-list count does not match leaves")
+	}
+	if v.TargetTile < 1 || v.Unroll < 1 || v.VectorWidth < 1 {
+		return Traffic{}, fmt.Errorf("fmm: variant %s has non-positive parameters", v.Name())
+	}
+	h.Reset()
+	var tr Traffic
+
+	group := v.TargetTile * BroadcastWidth
+	readRecord := func(idx int) {
+		if v.Layout == AoS {
+			h.Read(baseAoS+uint64(idx)*recordBytes, recordBytes)
+			return
+		}
+		h.Read(baseX+uint64(idx)*wordBytes, wordBytes)
+		h.Read(baseY+uint64(idx)*wordBytes, wordBytes)
+		h.Read(baseZ+uint64(idx)*wordBytes, wordBytes)
+		h.Read(baseD+uint64(idx)*wordBytes, wordBytes)
+	}
+
+	for bi, li := range t.Leaves {
+		b := &t.Nodes[li]
+		qb := b.NumPoints()
+		if qb == 0 {
+			continue
+		}
+		// Target coordinates: loaded once per leaf.
+		for i := b.Start; i < b.End; i++ {
+			readRecord(i)
+		}
+		sweeps := (qb + group - 1) / group
+		for _, si := range u[bi] {
+			s := &t.Nodes[si]
+			qs := s.NumPoints()
+			if qs == 0 {
+				continue
+			}
+			blockBytes := float64(qs * recordBytes)
+			switch v.Staging {
+			case CacheOnly:
+				for sweep := 0; sweep < sweeps; sweep++ {
+					for j := s.Start; j < s.End; j++ {
+						readRecord(j)
+					}
+				}
+			case SharedMem:
+				// Stage once through the caches, then serve all sweeps
+				// from scratchpad.
+				for j := s.Start; j < s.End; j++ {
+					readRecord(j)
+				}
+				tr.SharedBytes += float64(sweeps) * blockBytes
+			case TextureMem:
+				// The texture path has its own small cache; model it as
+				// one staging pass through the hierarchy plus
+				// texture-served sweeps.
+				for j := s.Start; j < s.End; j++ {
+					readRecord(j)
+				}
+				tr.TextureBytes += float64(sweeps) * blockBytes
+			}
+			// Without register blocking the accumulator spills: φ is
+			// re-read and re-written around every (B, S) sweep.
+			if v.TargetTile == 1 {
+				for i := b.Start; i < b.End; i++ {
+					h.Read(basePhi+uint64(i)*wordBytes, wordBytes)
+					h.Write(basePhi+uint64(i)*wordBytes, wordBytes)
+				}
+			}
+		}
+		// Final potential write-out.
+		for i := b.Start; i < b.End; i++ {
+			h.Write(basePhi+uint64(i)*wordBytes, wordBytes)
+		}
+	}
+
+	tr.DRAMReadBytes = float64(h.DRAMReadBytes())
+	tr.DRAMWriteBytes = float64(h.DRAMWriteBytes())
+	for _, ls := range h.Stats() {
+		tr.Levels = append(tr.Levels, core.LevelTraffic{
+			Name:  ls.Name,
+			Bytes: float64(ls.BytesServed),
+		})
+	}
+	return tr, nil
+}

@@ -1,0 +1,223 @@
+package fmm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Node is one octree box. Points of a node occupy the contiguous index
+// range [Start, End) of the tree's (reordered) point arrays.
+type Node struct {
+	// MinX/MinY/MinZ and Size define the box [Min, Min+Size)³.
+	MinX, MinY, MinZ float64
+	// Size is the box edge length.
+	Size float64
+	// Start and End delimit the node's points.
+	Start, End int
+	// Children holds node indices, -1 where absent; all -1 for a leaf.
+	Children [8]int
+	// Leaf marks a leaf node.
+	Leaf bool
+	// Depth is 0 at the root.
+	Depth int
+}
+
+// NumPoints returns the number of points in the node.
+func (n *Node) NumPoints() int { return n.End - n.Start }
+
+// touches reports whether two boxes are adjacent or overlapping
+// (sharing at least a corner).
+func (n *Node) touches(o *Node) bool {
+	const eps = 1e-12
+	return n.MinX <= o.MinX+o.Size+eps && o.MinX <= n.MinX+n.Size+eps &&
+		n.MinY <= o.MinY+o.Size+eps && o.MinY <= n.MinY+n.Size+eps &&
+		n.MinZ <= o.MinZ+o.Size+eps && o.MinZ <= n.MinZ+n.Size+eps
+}
+
+// Tree is an adaptive octree over a point set. Building the tree
+// reorders the point arrays so every node's points are contiguous.
+type Tree struct {
+	// Pts are the (reordered) points.
+	Pts *Points
+	// Nodes is the node pool; Nodes[0] is the root.
+	Nodes []Node
+	// Leaves lists leaf node indices in build order.
+	Leaves []int
+	// MaxLeafPoints is the split threshold q used to build the tree.
+	MaxLeafPoints int
+}
+
+// Build constructs the octree, splitting any box with more than
+// maxLeafPts points until maxDepth.
+func Build(p *Points, maxLeafPts, maxDepth int) (*Tree, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Len() == 0 {
+		return nil, errors.New("fmm: no points")
+	}
+	if maxLeafPts < 1 {
+		return nil, errors.New("fmm: maxLeafPts must be >= 1")
+	}
+	if maxDepth < 0 || maxDepth > 21 {
+		return nil, fmt.Errorf("fmm: maxDepth %d outside [0, 21]", maxDepth)
+	}
+	t := &Tree{Pts: p, MaxLeafPoints: maxLeafPts}
+	t.Nodes = append(t.Nodes, Node{Size: 1, Start: 0, End: p.Len()})
+	for i := range t.Nodes[0].Children {
+		t.Nodes[0].Children[i] = -1
+	}
+	t.split(0, maxLeafPts, maxDepth)
+	return t, nil
+}
+
+// split recursively subdivides node idx.
+func (t *Tree) split(idx, maxLeafPts, maxDepth int) {
+	n := &t.Nodes[idx]
+	if n.NumPoints() <= maxLeafPts || n.Depth >= maxDepth {
+		n.Leaf = true
+		t.Leaves = append(t.Leaves, idx)
+		return
+	}
+	half := n.Size / 2
+	cx, cy, cz := n.MinX+half, n.MinY+half, n.MinZ+half
+
+	// Bucket the node's points by octant, then write them back in
+	// octant order so each child's range is contiguous.
+	p := t.Pts
+	type rec struct{ x, y, z, d, phi float64 }
+	var buckets [8][]rec
+	octant := func(i int) int {
+		o := 0
+		if p.X[i] >= cx {
+			o |= 1
+		}
+		if p.Y[i] >= cy {
+			o |= 2
+		}
+		if p.Z[i] >= cz {
+			o |= 4
+		}
+		return o
+	}
+	for i := n.Start; i < n.End; i++ {
+		o := octant(i)
+		buckets[o] = append(buckets[o], rec{p.X[i], p.Y[i], p.Z[i], p.D[i], p.Phi[i]})
+	}
+	w := n.Start
+	var childStart [8]int
+	var childEnd [8]int
+	for o := 0; o < 8; o++ {
+		childStart[o] = w
+		for _, r := range buckets[o] {
+			p.X[w], p.Y[w], p.Z[w], p.D[w], p.Phi[w] = r.x, r.y, r.z, r.d, r.phi
+			w++
+		}
+		childEnd[o] = w
+	}
+
+	// Record geometry before appending children: appends may grow the
+	// node slice and invalidate n.
+	geo := *n
+	nodeIdx := idx
+	for o := 0; o < 8; o++ {
+		if childStart[o] == childEnd[o] {
+			continue
+		}
+		child := Node{
+			MinX:  geo.MinX + float64(o&1)*half,
+			MinY:  geo.MinY + float64((o>>1)&1)*half,
+			MinZ:  geo.MinZ + float64((o>>2)&1)*half,
+			Size:  half,
+			Start: childStart[o],
+			End:   childEnd[o],
+			Depth: geo.Depth + 1,
+		}
+		for i := range child.Children {
+			child.Children[i] = -1
+		}
+		ci := len(t.Nodes)
+		t.Nodes = append(t.Nodes, child)
+		t.Nodes[nodeIdx].Children[o] = ci
+		t.split(ci, maxLeafPts, maxDepth)
+	}
+}
+
+// Validate checks structural invariants: contiguous, disjoint point
+// ranges covering all points; children inside parents; leaves within
+// the split threshold unless depth-capped.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return errors.New("fmm: empty tree")
+	}
+	root := &t.Nodes[0]
+	if root.Start != 0 || root.End != t.Pts.Len() {
+		return errors.New("fmm: root does not cover all points")
+	}
+	covered := 0
+	for _, li := range t.Leaves {
+		l := &t.Nodes[li]
+		if !l.Leaf {
+			return fmt.Errorf("fmm: node %d in leaf list is not a leaf", li)
+		}
+		covered += l.NumPoints()
+		for i := l.Start; i < l.End; i++ {
+			if t.Pts.X[i] < l.MinX || t.Pts.X[i] >= l.MinX+l.Size+1e-12 ||
+				t.Pts.Y[i] < l.MinY || t.Pts.Y[i] >= l.MinY+l.Size+1e-12 ||
+				t.Pts.Z[i] < l.MinZ || t.Pts.Z[i] >= l.MinZ+l.Size+1e-12 {
+				return fmt.Errorf("fmm: point %d escapes leaf %d", i, li)
+			}
+		}
+	}
+	if covered != t.Pts.Len() {
+		return fmt.Errorf("fmm: leaves cover %d of %d points", covered, t.Pts.Len())
+	}
+	return nil
+}
+
+// ULists holds, per leaf (indexed as in Tree.Leaves), the node indices
+// of its U-list: every leaf whose box touches it, including itself.
+type ULists [][]int
+
+// BuildULists computes the U-list of every leaf by walking the tree and
+// pruning subtrees whose boxes do not touch the target leaf.
+func (t *Tree) BuildULists() ULists {
+	u := make(ULists, len(t.Leaves))
+	for i, li := range t.Leaves {
+		leaf := &t.Nodes[li]
+		var out []int
+		var walk func(ni int)
+		walk = func(ni int) {
+			nd := &t.Nodes[ni]
+			if !leaf.touches(nd) {
+				return
+			}
+			if nd.Leaf {
+				out = append(out, ni)
+				return
+			}
+			for _, c := range nd.Children {
+				if c >= 0 {
+					walk(c)
+				}
+			}
+		}
+		walk(0)
+		u[i] = out
+	}
+	return u
+}
+
+// Pairs returns the total number of (target, source) point pairs the
+// U-list phase visits, including self pairs that the kernel skips.
+func (t *Tree) Pairs(u ULists) int64 {
+	var pairs int64
+	for i, li := range t.Leaves {
+		nb := int64(0)
+		for _, si := range u[i] {
+			nb += int64(t.Nodes[si].NumPoints())
+		}
+		pairs += int64(t.Nodes[li].NumPoints()) * nb
+	}
+	return pairs
+}

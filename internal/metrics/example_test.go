@@ -1,0 +1,24 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+)
+
+// Score a kernel under the §VI figures of merit. The indices are the
+// roofline and arch-line heights: fractions of the machine's bests.
+func ExampleEvaluate() {
+	p := core.FromMachine(machine.GTX580(), machine.Double)
+	s, err := metrics.Evaluate(p, core.KernelAt(1e9, 4))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("speed index: %.2f of peak\n", s.SpeedIndex)
+	fmt.Printf("green index: %.2f of peak efficiency\n", s.GreenIndex)
+	// Output:
+	// speed index: 1.00 of peak
+	// green index: 0.87 of peak efficiency
+}

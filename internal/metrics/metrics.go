@@ -1,0 +1,118 @@
+// Package metrics implements the composite time–energy figures of
+// merit the paper surveys in §VI (Metrics): the energy–delay product
+// family EDⁿP (Gonzalez & Horowitz; Bekas & Curioni's generalisation),
+// flops per Joule (the Green500's FLOP/s per Watt), and a normalized
+// machine-relative "green index"-style score. These let the model's
+// outputs be ranked the way the energy-efficiency community ranks
+// systems, and expose when optimizing a composite metric disagrees
+// with optimizing time or energy alone.
+package metrics
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/core"
+)
+
+// EDP returns the energy–delay product E·T in Joule-seconds.
+func EDP(energy, time float64) float64 { return energy * time }
+
+// EDnP returns the generalised energy–delay product E·Tⁿ; n = 0 is
+// energy alone, n = 1 the classic EDP, n = 2 the delay-squared variant
+// that weights performance more heavily.
+func EDnP(energy, time float64, n int) (float64, error) {
+	if n < 0 {
+		return 0, errors.New("metrics: delay exponent must be non-negative")
+	}
+	return energy * math.Pow(time, float64(n)), nil
+}
+
+// FlopsPerJoule returns W/E — identical to sustained FLOP/s per Watt,
+// the Green500 ranking metric.
+func FlopsPerJoule(w, energy float64) float64 { return w / energy }
+
+// Score evaluates all the figures of merit for kernel k on machine
+// parameters p.
+type Score struct {
+	// Time and Energy are the model's eq. (3) and eq. (4) costs.
+	Time, Energy float64
+	// EDP and ED2P are E·T and E·T².
+	EDP, ED2P float64
+	// FlopsPerJoule is W/E.
+	FlopsPerJoule float64
+	// FlopsPerSecond is W/T.
+	FlopsPerSecond float64
+	// GreenIndex is the fraction of the machine's best possible
+	// energy efficiency this kernel attains: (W/E)·ε̂flop ∈ (0, 1].
+	GreenIndex float64
+	// SpeedIndex is the analogous fraction of peak speed: (W/T)·τflop.
+	SpeedIndex float64
+}
+
+// Evaluate computes the Score of kernel k under parameters p.
+func Evaluate(p core.Params, k core.Kernel) (Score, error) {
+	if k.W <= 0 {
+		return Score{}, errors.New("metrics: kernel must have positive work")
+	}
+	t := p.Time(k)
+	e := p.Energy(k)
+	return Score{
+		Time:           t,
+		Energy:         e,
+		EDP:            EDP(e, t),
+		ED2P:           e * t * t,
+		FlopsPerJoule:  k.W / e,
+		FlopsPerSecond: k.W / t,
+		GreenIndex:     (k.W / e) * p.EpsFlopHat(),
+		SpeedIndex:     (k.W / t) * p.TauFlop,
+	}, nil
+}
+
+// BestIntensityFor returns the intensity in [lo, hi] that optimises the
+// given EDⁿP exponent for a fixed-work kernel (lower EDⁿP is better),
+// found on a dense log grid. For n = 0 (energy) the optimum is always
+// hi — more intensity never hurts energy; for larger n the optimum
+// still saturates at hi under this model, but the *gain* flattens past
+// the relevant balance point, which Flatness reports.
+func BestIntensityFor(p core.Params, w float64, n int, lo, hi float64) (float64, error) {
+	if n < 0 {
+		return 0, errors.New("metrics: delay exponent must be non-negative")
+	}
+	grid := core.LogGrid(lo, hi, 257)
+	if grid == nil {
+		return 0, errors.New("metrics: bad intensity range")
+	}
+	best, bestV := grid[0], math.Inf(1)
+	for _, i := range grid {
+		k := core.KernelAt(w, i)
+		v, err := EDnP(p.Energy(k), p.Time(k), n)
+		if err != nil {
+			return 0, err
+		}
+		if v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, nil
+}
+
+// Flatness returns the ratio metric(I)/metric(2I) for the EDⁿP family:
+// values near 1 mean more intensity no longer buys improvement (the
+// kernel has passed the relevant balance point).
+func Flatness(p core.Params, w, intensity float64, n int) (float64, error) {
+	if intensity <= 0 {
+		return 0, errors.New("metrics: intensity must be positive")
+	}
+	k1 := core.KernelAt(w, intensity)
+	k2 := core.KernelAt(w, 2*intensity)
+	v1, err := EDnP(p.Energy(k1), p.Time(k1), n)
+	if err != nil {
+		return 0, err
+	}
+	v2, err := EDnP(p.Energy(k2), p.Time(k2), n)
+	if err != nil {
+		return 0, err
+	}
+	return v2 / v1, nil
+}

@@ -1,0 +1,338 @@
+package microbench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/powermon"
+	"repro/internal/regress"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// AutoTune searches the launch-parameter space for the tuning that
+// maximises measured throughput of a compute-bound probe kernel — the
+// paper's "auto-tuned ... by tuning kernel parameters such as number of
+// threads, thread block size, and number of memory requests per
+// thread". A coarse power-of-two grid search is followed by coordinate
+// hill climbing. Returns the best tuning found and its quality.
+func AutoTune(eng *sim.Engine, prec machine.Precision) (sim.Tuning, float64, error) {
+	best := sim.Tuning{Threads: 256, BlockSize: 64, Unroll: 4, RequestsPerThread: 2}
+	bestScore, err := probeScore(eng, prec, best)
+	if err != nil {
+		return sim.Tuning{}, 0, err
+	}
+
+	// Coarse grid over powers of two.
+	for _, th := range []int{64, 128, 256, 512, 1024, 2048, 4096, 8192} {
+		for _, bs := range []int{32, 64, 128, 256, 512} {
+			t := sim.Tuning{Threads: th, BlockSize: bs, Unroll: best.Unroll, RequestsPerThread: best.RequestsPerThread}
+			s, err := probeScore(eng, prec, t)
+			if err != nil {
+				return sim.Tuning{}, 0, err
+			}
+			if s > bestScore {
+				best, bestScore = t, s
+			}
+		}
+	}
+	// Coordinate descent on the remaining knobs (and refinement of all).
+	improved := true
+	for iter := 0; improved && iter < 16; iter++ {
+		improved = false
+		for _, cand := range neighbours(best) {
+			s, err := probeScore(eng, prec, cand)
+			if err != nil {
+				return sim.Tuning{}, 0, err
+			}
+			if s > bestScore*(1+1e-9) {
+				best, bestScore = cand, s
+				improved = true
+			}
+		}
+	}
+	return best, eng.TuningQuality(best), nil
+}
+
+func neighbours(t sim.Tuning) []sim.Tuning {
+	var out []sim.Tuning
+	mul := func(v, f int) int {
+		if v*f < 1 {
+			return 1
+		}
+		return v * f
+	}
+	div := func(v, f int) int {
+		if v/f < 1 {
+			return 1
+		}
+		return v / f
+	}
+	for _, d := range []struct{ f func(int, int) int }{{mul}, {div}} {
+		c := t
+		c.Threads = d.f(t.Threads, 2)
+		out = append(out, c)
+		c = t
+		c.BlockSize = d.f(t.BlockSize, 2)
+		out = append(out, c)
+		c = t
+		c.Unroll = d.f(t.Unroll, 2)
+		out = append(out, c)
+		c = t
+		c.RequestsPerThread = d.f(t.RequestsPerThread, 2)
+		out = append(out, c)
+	}
+	return out
+}
+
+// probeScore measures a tuning with two probes — one compute-bound,
+// one memory-bound — and combines their throughputs geometrically. Two
+// probes keep the search landscape informative even when one regime is
+// power-throttled: a throttled probe's duration stops responding to
+// tuning quality, but the other probe's duration still does.
+func probeScore(eng *sim.Engine, prec machine.Precision, t sim.Tuning) (float64, error) {
+	compute := sim.KernelSpec{W: 1e9, Q: 1e5, Precision: prec, Tuning: t}
+	rc, err := eng.Run(compute)
+	if err != nil {
+		return 0, err
+	}
+	memory := sim.KernelSpec{W: 1e4, Q: 1e9, Precision: prec, Tuning: t}
+	rm, err := eng.Run(memory)
+	if err != nil {
+		return 0, err
+	}
+	fl := compute.W / float64(rc.Duration)
+	bw := memory.Q / float64(rm.Duration)
+	return math.Sqrt(fl * bw), nil
+}
+
+// Point is one measured intensity point: the paper's (W, Q, T, R)
+// tuple plus its measured energy and power.
+type Point struct {
+	// Intensity is the kernel's W/Q in flop per byte.
+	Intensity float64
+	// W and Q are the executed flops and bytes.
+	W, Q float64
+	// Precision is the paper's R regressor (0 single, 1 double).
+	Precision machine.Precision
+	// Time is the per-run mean wall time over the repetitions.
+	Time units.Seconds
+	// Energy is the per-run mean energy.
+	Energy units.Joules
+	// Power is Energy/Time.
+	Power units.Watts
+	// Throttled reports whether any repetition hit the power cap.
+	Throttled bool
+	// Reps is the number of repetitions aggregated.
+	Reps int
+}
+
+// SweepConfig controls a microbenchmark sweep.
+type SweepConfig struct {
+	// Intensities are the flop:byte targets, e.g. core.LogGrid(0.25, 16, 13).
+	Intensities []float64
+	// VolumeBytes is the per-run DRAM traffic (default 1 GiB).
+	VolumeBytes float64
+	// Reps is runs per point (the paper uses 100; default 100).
+	Reps int
+	// Tuning are the launch parameters (defaults to AutoTune's result
+	// if zero and UseAutoTune is set, else the engine optimum shape).
+	Tuning sim.Tuning
+	// Monitor, if non-nil, measures energy via the sampled power trace
+	// (the full §IV-A pipeline). If nil, the run's direct observables
+	// are used.
+	Monitor *powermon.Monitor
+	// KeepReps, when set, emits one Point per repetition instead of one
+	// aggregated Point per intensity. The paper's regression uses every
+	// individual run as an observation (100 per configuration), which
+	// is what drives its p-values below 1e-14.
+	KeepReps bool
+}
+
+// Sweep runs the microbenchmark at each intensity for one precision.
+// Kernels are generated as explicit instruction streams (GPU-style
+// FMA/load mix), so the W and Q handed to the simulator are the counted
+// ops of a real program body, not free parameters.
+func Sweep(eng *sim.Engine, prec machine.Precision, cfg SweepConfig) ([]Point, error) {
+	if len(cfg.Intensities) == 0 {
+		return nil, errors.New("microbench: no intensities")
+	}
+	if cfg.VolumeBytes == 0 {
+		cfg.VolumeBytes = 1 << 30
+	}
+	if cfg.VolumeBytes <= 0 {
+		return nil, errors.New("microbench: volume must be positive")
+	}
+	if cfg.Reps == 0 {
+		cfg.Reps = 100
+	}
+	if cfg.Reps < 1 {
+		return nil, errors.New("microbench: reps must be >= 1")
+	}
+	points := make([]Point, 0, len(cfg.Intensities))
+	for _, target := range cfg.Intensities {
+		if target <= 0 {
+			return nil, fmt.Errorf("microbench: non-positive intensity %g", target)
+		}
+		fmas, loads := MixFor(target, prec)
+		elems := int(cfg.VolumeBytes / float64(loads*prec.WordSize()))
+		if elems < 1 {
+			elems = 1
+		}
+		prog, err := GenerateFMAMix(fmas, loads, elems, prec)
+		if err != nil {
+			return nil, err
+		}
+		w, q := prog.Counts()
+		spec := sim.KernelSpec{W: w, Q: q, Precision: prec, Tuning: cfg.Tuning}
+
+		var sumT, sumE float64
+		throttled := false
+		for rep := 0; rep < cfg.Reps; rep++ {
+			r, err := eng.Run(spec)
+			if err != nil {
+				return nil, err
+			}
+			throttled = throttled || r.Throttled
+			t := float64(r.Duration)
+			e := float64(r.Energy)
+			if cfg.Monitor != nil {
+				tr, err := cfg.Monitor.Measure(r, r.Duration)
+				if err != nil {
+					return nil, err
+				}
+				e = float64(tr.Energy())
+			}
+			if cfg.KeepReps {
+				points = append(points, Point{
+					Intensity: w / q,
+					W:         w,
+					Q:         q,
+					Precision: prec,
+					Time:      units.Seconds(t),
+					Energy:    units.Joules(e),
+					Power:     units.Watts(e / t),
+					Throttled: r.Throttled,
+					Reps:      1,
+				})
+			}
+			sumT += t
+			sumE += e
+		}
+		if cfg.KeepReps {
+			continue
+		}
+		n := float64(cfg.Reps)
+		points = append(points, Point{
+			Intensity: w / q,
+			W:         w,
+			Q:         q,
+			Precision: prec,
+			Time:      units.Seconds(sumT / n),
+			Energy:    units.Joules(sumE / n),
+			Power:     units.Watts(sumE / sumT),
+			Throttled: throttled,
+			Reps:      cfg.Reps,
+		})
+	}
+	return points, nil
+}
+
+// Coefficients are the fitted energy parameters of eq. (9) / Table IV.
+type Coefficients struct {
+	// EpsSingle is ε_s, energy per single-precision flop (J).
+	EpsSingle float64
+	// EpsDouble is ε_d = ε_s + Δε_d (J).
+	EpsDouble float64
+	// EpsMem is ε_mem, energy per byte (J).
+	EpsMem float64
+	// Pi0 is the constant power (W).
+	Pi0 float64
+	// R2 is the regression's coefficient of determination.
+	R2 float64
+	// MaxPValue is the largest coefficient p-value (the paper reports
+	// all below 1e-14).
+	MaxPValue float64
+}
+
+// FitEq9 estimates the Table IV coefficients from measured points of
+// both precisions using the paper's regression
+//
+//	E/W = ε_s + ε_mem·(Q/W) + π0·(T/W) + Δε_d·R.
+//
+// Points from both precisions must be present, otherwise Δε_d is not
+// identifiable.
+func FitEq9(points []Point) (*Coefficients, *regress.Result, error) {
+	if len(points) < 5 {
+		return nil, nil, errors.New("microbench: need at least 5 points to fit eq. 9")
+	}
+	var haveS, haveD bool
+	X := make([][]float64, 0, len(points))
+	y := make([]float64, 0, len(points))
+	for _, p := range points {
+		if p.W <= 0 {
+			return nil, nil, errors.New("microbench: point with non-positive W")
+		}
+		r := p.Precision.Indicator()
+		if r == 0 {
+			haveS = true
+		} else {
+			haveD = true
+		}
+		X = append(X, []float64{1, p.Q / p.W, float64(p.Time) / p.W, r})
+		y = append(y, float64(p.Energy)/p.W)
+	}
+	if !haveS || !haveD {
+		return nil, nil, errors.New("microbench: need points from both precisions")
+	}
+	res, err := regress.Fit(X, y)
+	if err != nil {
+		return nil, nil, err
+	}
+	maxP := 0.0
+	for _, pv := range res.PValue {
+		maxP = math.Max(maxP, pv)
+	}
+	return &Coefficients{
+		EpsSingle: res.Coef[0],
+		EpsDouble: res.Coef[0] + res.Coef[3],
+		EpsMem:    res.Coef[1],
+		Pi0:       res.Coef[2],
+		R2:        res.R2,
+		MaxPValue: maxP,
+	}, res, nil
+}
+
+// RunProgram executes a generated instruction-stream kernel on the
+// engine: the program's counted ops become the executed W and Q, so
+// what runs is exactly what the stream encodes (the simulation analogue
+// of executing the inspected PTX).
+func RunProgram(eng *sim.Engine, prog Program, tuning sim.Tuning) (*sim.Run, error) {
+	w, q := prog.Counts()
+	if w <= 0 && q <= 0 {
+		return nil, errors.New("microbench: program performs no work and moves no data")
+	}
+	return eng.Run(sim.KernelSpec{W: w, Q: q, Precision: prog.Precision, Tuning: tuning})
+}
+
+// Peaks reports the best achieved compute and bandwidth rates for one
+// precision — the §IV-B "88.3% of system peak"-style numbers. It runs a
+// strongly compute-bound and a strongly memory-bound kernel at the
+// given tuning.
+func Peaks(eng *sim.Engine, prec machine.Precision, tuning sim.Tuning) (gflops, gbytes float64, err error) {
+	cb := sim.KernelSpec{W: 1e11, Q: 1e6, Precision: prec, Tuning: tuning}
+	r, err := eng.Run(cb)
+	if err != nil {
+		return 0, 0, err
+	}
+	gflops = cb.W / float64(r.Duration) / 1e9
+	mb := sim.KernelSpec{W: 1e5, Q: 2e10, Precision: prec, Tuning: tuning}
+	r, err = eng.Run(mb)
+	if err != nil {
+		return 0, 0, err
+	}
+	gbytes = mb.Q / float64(r.Duration) / 1e9
+	return gflops, gbytes, nil
+}

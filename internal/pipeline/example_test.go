@@ -1,0 +1,35 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/microbench"
+	"repro/internal/pipeline"
+)
+
+// A Horner chain with a single element in flight is latency-bound at
+// exactly 2 flops per FMA-latency cycles; a full window reaches the
+// issue roofline.
+func ExampleSimulate() {
+	prog, err := microbench.GeneratePolynomial(64, 1024, machine.Single)
+	if err != nil {
+		panic(err)
+	}
+	starved := pipeline.NehalemLike()
+	starved.Window = 1
+	r1, err := pipeline.Simulate(prog, starved)
+	if err != nil {
+		panic(err)
+	}
+	full := pipeline.NehalemLike()
+	r2, err := pipeline.Simulate(prog, full)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("window 1:  %s-bound\n", r1.Bound)
+	fmt.Printf("window 64: %s-bound\n", r2.Bound)
+	// Output:
+	// window 1:  latency-bound
+	// window 64: issue-bound
+}

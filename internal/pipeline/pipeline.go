@@ -1,0 +1,354 @@
+// Package pipeline is a cycle-level timing model for the generated
+// microbenchmark kernels: an in-order-issue, out-of-order-completion
+// scoreboard over the instruction stream, with an issue-width limit, a
+// floating-point latency, a bounded number of outstanding loads
+// (memory-level parallelism), and a memory bus of finite bytes per
+// cycle.
+//
+// It explains, from first principles, the achieved-fraction-of-peak
+// structure the paper's §IV-B measurements exhibit and the higher-level
+// simulator (internal/sim) parameterises: a Horner-chain body with too
+// little independent work is latency-bound; enough independent elements
+// in flight make it issue-bound (the compute roofline); load-heavy
+// bodies saturate the bus (the bandwidth roofline) or the MLP limit
+// (the concurrency refinement of internal/core).
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/microbench"
+)
+
+// Config describes the core and memory system.
+type Config struct {
+	// IssueWidth is the number of instructions issued per cycle.
+	IssueWidth int
+	// FMALatency is the floating-point dependency latency in cycles.
+	FMALatency int
+	// LoadLatency is the load-use latency in cycles (cache-hit class).
+	LoadLatency int
+	// MaxOutstanding bounds in-flight loads (MLP).
+	MaxOutstanding int
+	// BytesPerCycle is the memory bus width toward the core.
+	BytesPerCycle float64
+	// ClockHz converts cycles to seconds.
+	ClockHz float64
+	// Window is the number of independent elements simulated
+	// concurrently (the thread/SIMD pool). Default 64.
+	Window int
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if c.IssueWidth < 1 {
+		return errors.New("pipeline: issue width must be >= 1")
+	}
+	if c.FMALatency < 1 || c.LoadLatency < 1 {
+		return errors.New("pipeline: latencies must be >= 1")
+	}
+	if c.MaxOutstanding < 1 {
+		return errors.New("pipeline: need at least one outstanding load")
+	}
+	if c.BytesPerCycle <= 0 {
+		return errors.New("pipeline: bus width must be positive")
+	}
+	if c.ClockHz <= 0 {
+		return errors.New("pipeline: clock must be positive")
+	}
+	if c.Window < 0 {
+		return errors.New("pipeline: negative window")
+	}
+	return nil
+}
+
+// NehalemLike returns a plausible configuration for one Core i7-950
+// class core: 3-wide issue, 5-cycle FP latency, 10 outstanding misses,
+// ~8 bytes/cycle toward one core at 3.07 GHz.
+func NehalemLike() Config {
+	return Config{
+		IssueWidth:     3,
+		FMALatency:     5,
+		LoadLatency:    4,
+		MaxOutstanding: 10,
+		BytesPerCycle:  8,
+		ClockHz:        3.07e9,
+		Window:         64,
+	}
+}
+
+// FermiLike returns a plausible configuration for one Fermi-class SM:
+// dual-issue, long pipeline, deep MLP, wide bus share, 1.54 GHz shader
+// clock, large thread window.
+func FermiLike() Config {
+	return Config{
+		IssueWidth:     2,
+		FMALatency:     18,
+		LoadLatency:    24,
+		MaxOutstanding: 48,
+		BytesPerCycle:  12,
+		ClockHz:        1.544e9,
+		Window:         256,
+	}
+}
+
+// Bound labels the simulated bottleneck.
+type Bound string
+
+const (
+	// IssueBound: the issue width is saturated — the compute roofline.
+	IssueBound Bound = "issue"
+	// LatencyBound: dependency chains stall issue.
+	LatencyBound Bound = "latency"
+	// BandwidthBound: the memory bus is saturated.
+	BandwidthBound Bound = "bandwidth"
+	// MLPBound: the outstanding-load limit stalls issue.
+	MLPBound Bound = "mlp"
+)
+
+// Result is the simulation outcome.
+type Result struct {
+	// Cycles is the total simulated cycle count for the whole program.
+	Cycles float64
+	// Time is Cycles/ClockHz.
+	Time float64
+	// Flops and Bytes are the program's totals.
+	Flops, Bytes float64
+	// FlopRate and Bandwidth are achieved rates (FLOP/s, B/s).
+	FlopRate, Bandwidth float64
+	// IssueUtilization is issued-slots / (cycles × width).
+	IssueUtilization float64
+	// BusUtilization is bus-busy-cycles / cycles.
+	BusUtilization float64
+	// Bound is the diagnosed bottleneck.
+	Bound Bound
+	// stallLatency / stallMLP count issue opportunities lost to each.
+	stallLatency, stallMLP float64
+}
+
+// elemState tracks one in-flight element's progress.
+type elemState struct {
+	elem     int   // element index
+	next     int   // next op index in the body
+	fmaReady int64 // cycle the last FMA result is ready
+	ldReady  int64 // cycle the most recent load's value is ready
+	done     bool
+}
+
+// Simulate runs the program through the scoreboard. The body executes
+// in order per element; elements are independent and fill the window.
+func Simulate(prog microbench.Program, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 64
+	}
+	if len(prog.Body) == 0 || prog.Elements < 1 {
+		return nil, errors.New("pipeline: empty program")
+	}
+	// Simulate up to maxSim elements exactly, then extrapolate at the
+	// steady-state rate — the tail of a long kernel is periodic.
+	const maxSim = 2048
+	simElems := prog.Elements
+	if simElems > maxSim {
+		simElems = maxSim
+	}
+	wordBytes := float64(prog.Precision.WordSize())
+	busCycles := int64(wordBytes/cfg.BytesPerCycle + 0.999999)
+	if busCycles < 1 {
+		busCycles = 1
+	}
+
+	res := &Result{}
+	var (
+		now        int64
+		busFree    int64
+		inflight   int
+		issuedOps  float64
+		busBusy    float64
+		nextElem   int
+		active     []*elemState
+		completedE int
+	)
+	// loadDone holds completion times of in-flight loads so slots free.
+	var loadDone []int64
+
+	refill := func() {
+		for len(active) < cfg.Window && nextElem < simElems {
+			active = append(active, &elemState{elem: nextElem, fmaReady: -1, ldReady: -1})
+			nextElem++
+		}
+	}
+	refill()
+
+	for completedE < simElems {
+		// Free load slots whose data has arrived.
+		kept := loadDone[:0]
+		for _, t := range loadDone {
+			if t > now {
+				kept = append(kept, t)
+			} else {
+				inflight--
+			}
+		}
+		loadDone = kept
+
+		budget := cfg.IssueWidth
+		progress := false
+		stalledLatency := false
+		stalledMLP := false
+		for _, st := range active {
+			if budget == 0 {
+				break
+			}
+			if st.done {
+				continue
+			}
+			op := prog.Body[st.next]
+			switch op {
+			case microbench.OpLoad:
+				if inflight >= cfg.MaxOutstanding {
+					stalledMLP = true
+					continue
+				}
+				// The bus serialises transfers.
+				start := now
+				if busFree > start {
+					start = busFree
+				}
+				// Issue occupies a slot this cycle; data arrives after
+				// bus transfer + load latency.
+				busFree = start + busCycles
+				busBusy += float64(busCycles)
+				doneAt := busFree + int64(cfg.LoadLatency)
+				st.ldReady = doneAt
+				inflight++
+				loadDone = append(loadDone, doneAt)
+			case microbench.OpFMA:
+				// Depends on the element's previous FMA and its most
+				// recent load.
+				if st.fmaReady > now || st.ldReady > now {
+					stalledLatency = true
+					continue
+				}
+				st.fmaReady = now + int64(cfg.FMALatency)
+			case microbench.OpStore:
+				if st.fmaReady > now {
+					stalledLatency = true
+					continue
+				}
+				start := now
+				if busFree > start {
+					start = busFree
+				}
+				busFree = start + busCycles
+				busBusy += float64(busCycles)
+			}
+			st.next++
+			issuedOps++
+			budget--
+			progress = true
+			if st.next == len(prog.Body) {
+				st.done = true
+				completedE++
+			}
+		}
+		if budget > 0 {
+			if stalledLatency {
+				res.stallLatency += float64(budget)
+			}
+			if stalledMLP {
+				res.stallMLP += float64(budget)
+			}
+		}
+		// Compact finished elements and refill the window.
+		if progress {
+			keptA := active[:0]
+			for _, st := range active {
+				if !st.done {
+					keptA = append(keptA, st)
+				}
+			}
+			active = keptA
+			refill()
+		}
+		now++
+	}
+
+	// Drain: the last results land after the final issue.
+	drain := int64(cfg.FMALatency)
+	if l := int64(cfg.LoadLatency) + busCycles; l > drain {
+		drain = l
+	}
+	simCycles := float64(now) + float64(drain)
+
+	// Extrapolate to the full element count at the simulated rate.
+	scale := float64(prog.Elements) / float64(simElems)
+	res.Cycles = simCycles * scale
+	res.Time = res.Cycles / cfg.ClockHz
+	res.Flops, res.Bytes = prog.Counts()
+	res.FlopRate = res.Flops / res.Time
+	res.Bandwidth = res.Bytes / res.Time
+	res.IssueUtilization = issuedOps / (float64(now) * float64(cfg.IssueWidth))
+	res.BusUtilization = busBusy / float64(now)
+	res.Bound = diagnose(res)
+	return res, nil
+}
+
+func diagnose(r *Result) Bound {
+	switch {
+	case r.BusUtilization > 0.85:
+		return BandwidthBound
+	case r.IssueUtilization > 0.85:
+		return IssueBound
+	case r.stallMLP > r.stallLatency:
+		return MLPBound
+	default:
+		return LatencyBound
+	}
+}
+
+// PeakFlopRate returns the configuration's compute roofline in FLOP/s:
+// every issue slot an FMA (2 flops).
+func (c Config) PeakFlopRate() float64 {
+	return 2 * float64(c.IssueWidth) * c.ClockHz
+}
+
+// PeakBandwidth returns the configuration's bandwidth roofline in B/s.
+func (c Config) PeakBandwidth() float64 {
+	return c.BytesPerCycle * c.ClockHz
+}
+
+// AchievedFractions runs a strongly compute-bound and a strongly
+// memory-bound kernel at the given precision and reports the fractions
+// of the configuration's own rooflines they reach — the quantity
+// machine.PrecisionParams carries as Achieved*Frac.
+func AchievedFractions(cfg Config, prec machine.Precision) (flopFrac, bwFrac float64, err error) {
+	compute, err := microbench.GeneratePolynomial(64, 1<<14, prec)
+	if err != nil {
+		return 0, 0, err
+	}
+	rc, err := Simulate(compute, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	memory, err := microbench.GenerateFMAMix(1, 8, 1<<14, prec)
+	if err != nil {
+		return 0, 0, err
+	}
+	rm, err := Simulate(memory, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rc.FlopRate / cfg.PeakFlopRate(), rm.Bandwidth / cfg.PeakBandwidth(), nil
+}
+
+// String renders the result compactly.
+func (r *Result) String() string {
+	return fmt.Sprintf("%.0f cycles, %.3g GFLOP/s, %.3g GB/s, issue %.0f%%, bus %.0f%%, %s-bound",
+		r.Cycles, r.FlopRate/1e9, r.Bandwidth/1e9,
+		r.IssueUtilization*100, r.BusUtilization*100, r.Bound)
+}

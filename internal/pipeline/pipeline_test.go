@@ -1,0 +1,320 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/microbench"
+	"repro/internal/stats"
+)
+
+func poly(t *testing.T, degree, n int) microbench.Program {
+	t.Helper()
+	p, err := microbench.GeneratePolynomial(degree, n, machine.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := NehalemLike()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mods := []func(*Config){
+		func(c *Config) { c.IssueWidth = 0 },
+		func(c *Config) { c.FMALatency = 0 },
+		func(c *Config) { c.LoadLatency = 0 },
+		func(c *Config) { c.MaxOutstanding = 0 },
+		func(c *Config) { c.BytesPerCycle = 0 },
+		func(c *Config) { c.ClockHz = 0 },
+		func(c *Config) { c.Window = -1 },
+	}
+	for i, mod := range mods {
+		c := NehalemLike()
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mod %d accepted", i)
+		}
+	}
+	if _, err := Simulate(microbench.Program{}, good); err == nil {
+		t.Error("empty program accepted")
+	}
+	bad := NehalemLike()
+	bad.IssueWidth = 0
+	if _, err := Simulate(poly(t, 4, 16), bad); err == nil {
+		t.Error("invalid config accepted by Simulate")
+	}
+}
+
+func TestIssueBoundReachesPeak(t *testing.T) {
+	// A deep Horner body with a full window of independent elements
+	// saturates issue: achieved rate ≈ 2·width·clock.
+	cfg := NehalemLike()
+	r, err := Simulate(poly(t, 64, 4096), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound != IssueBound {
+		t.Fatalf("bound = %s, want issue (%v)", r.Bound, r)
+	}
+	// The body is 1 load per 64 FMAs, so ~98% of slots are flops.
+	if frac := r.FlopRate / cfg.PeakFlopRate(); frac < 0.95 || frac > 1.0 {
+		t.Errorf("achieved %.3f of the issue roofline", frac)
+	}
+	if r.IssueUtilization < 0.95 {
+		t.Errorf("issue utilization = %v", r.IssueUtilization)
+	}
+}
+
+func TestLatencyBoundMatchesChainArithmetic(t *testing.T) {
+	// One element in flight: the Horner chain serialises completely and
+	// the rate is exactly 2 flops per FMALatency cycles.
+	cfg := NehalemLike()
+	cfg.Window = 1
+	r, err := Simulate(poly(t, 64, 512), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound != LatencyBound {
+		t.Fatalf("bound = %s, want latency (%v)", r.Bound, r)
+	}
+	want := 2.0 / float64(cfg.FMALatency) * cfg.ClockHz
+	if stats.RelErr(r.FlopRate, want) > 0.05 {
+		t.Errorf("latency-bound rate %v, want ≈%v", r.FlopRate, want)
+	}
+}
+
+func TestWindowSweepRecoversRoofline(t *testing.T) {
+	// Growing the window (thread pool) walks the rate from the latency
+	// floor to the issue roofline — the "sufficient concurrency"
+	// assumption of the paper's footnote 2 made visible.
+	cfg := NehalemLike()
+	prev := 0.0
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		cfg.Window = w
+		r, err := Simulate(poly(t, 32, 2048), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.FlopRate < prev*0.98 {
+			t.Errorf("window %d: rate %v regressed from %v", w, r.FlopRate, prev)
+		}
+		prev = r.FlopRate
+	}
+	if prev < NehalemLike().PeakFlopRate()*0.8 {
+		t.Errorf("window 16 should be near the roofline, got %v", prev)
+	}
+}
+
+func TestBandwidthBound(t *testing.T) {
+	// 8 loads per FMA saturates the bus; the achieved bandwidth is the
+	// bus width times the fraction a narrow scalar load can use
+	// (4-byte loads on an 8-byte bus: one transfer per cycle).
+	cfg := NehalemLike()
+	m, err := microbench.GenerateFMAMix(1, 8, 4096, machine.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Simulate(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound != BandwidthBound {
+		t.Fatalf("bound = %s, want bandwidth (%v)", r.Bound, r)
+	}
+	if r.BusUtilization < 0.95 {
+		t.Errorf("bus utilization = %v", r.BusUtilization)
+	}
+	// One 4-byte transfer per cycle.
+	want := 4 * cfg.ClockHz
+	if stats.RelErr(r.Bandwidth, want) > 0.05 {
+		t.Errorf("bandwidth %v, want ≈%v", r.Bandwidth, want)
+	}
+	// Double-precision words use the full 8-byte bus.
+	md, err := microbench.GenerateFMAMix(1, 8, 4096, machine.Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Simulate(md, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelErr(rd.Bandwidth, cfg.PeakBandwidth()) > 0.05 {
+		t.Errorf("DP bandwidth %v, want ≈bus peak %v", rd.Bandwidth, cfg.PeakBandwidth())
+	}
+}
+
+func TestMLPBoundMatchesLittlesLaw(t *testing.T) {
+	// One outstanding load on a wide bus: each load takes
+	// busCycles + LoadLatency round trip, so bandwidth = word/roundtrip.
+	cfg := NehalemLike()
+	cfg.MaxOutstanding = 1
+	cfg.BytesPerCycle = 64
+	m, err := microbench.GenerateFMAMix(1, 8, 2048, machine.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Simulate(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound != MLPBound {
+		t.Fatalf("bound = %s, want mlp (%v)", r.Bound, r)
+	}
+	roundtrip := 1.0 + float64(cfg.LoadLatency) // 1 bus cycle + latency
+	want := 4.0 / roundtrip * cfg.ClockHz
+	if stats.RelErr(r.Bandwidth, want) > 0.05 {
+		t.Errorf("MLP-bound bandwidth %v, want ≈%v (Little's law)", r.Bandwidth, want)
+	}
+}
+
+func TestStoresConsumeBus(t *testing.T) {
+	// An explicit store stream occupies the bus like loads do.
+	prog := microbench.Program{
+		Body:      []microbench.Op{microbench.OpLoad, microbench.OpFMA, microbench.OpStore},
+		Elements:  2048,
+		Precision: machine.Double,
+	}
+	r, err := Simulate(prog, NehalemLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 8-byte transfers per 1 FMA: memory dominates.
+	if r.Bound != BandwidthBound {
+		t.Errorf("store-heavy body should be bandwidth-bound: %v", r)
+	}
+}
+
+func TestExtrapolationConsistency(t *testing.T) {
+	// A program larger than the simulation cap extrapolates at the
+	// steady-state rate: doubling Elements ≈ doubles cycles.
+	cfg := NehalemLike()
+	a, err := Simulate(poly(t, 16, 100000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(poly(t, 16, 200000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelErr(b.Cycles/a.Cycles, 2) > 0.02 {
+		t.Errorf("cycle extrapolation not linear: %v vs %v", a.Cycles, b.Cycles)
+	}
+}
+
+func TestAchievedFractionsPlausible(t *testing.T) {
+	// The cycle model grounds the achieved fractions machine
+	// descriptions carry: high for compute (deep ILP window), and a
+	// word-width-limited fraction for single-precision bandwidth.
+	ff, bf, err := AchievedFractions(NehalemLike(), machine.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff < 0.9 || ff > 1 {
+		t.Errorf("compute fraction = %v", ff)
+	}
+	if bf < 0.4 || bf > 0.6 {
+		t.Errorf("SP bandwidth fraction = %v (4-byte loads on an 8-byte bus)", bf)
+	}
+	ffd, bfd, err := AchievedFractions(NehalemLike(), machine.Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfd < 0.9 {
+		t.Errorf("DP bandwidth fraction = %v", bfd)
+	}
+	if ffd <= 0 {
+		t.Error("DP compute fraction must be positive")
+	}
+}
+
+func TestFermiLikeHasDeeperWindowNeeds(t *testing.T) {
+	// Long GPU pipelines need many threads: at window 1 the GPU config
+	// is far more latency-starved than the CPU config.
+	p := poly(t, 32, 1024)
+	gpu := FermiLike()
+	gpu.Window = 1
+	cpu := NehalemLike()
+	cpu.Window = 1
+	rg, err := Simulate(p, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Simulate(p, cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracG := rg.FlopRate / gpu.PeakFlopRate()
+	fracC := rc.FlopRate / cpu.PeakFlopRate()
+	if fracG >= fracC {
+		t.Errorf("GPU at window 1 should be more starved: %v vs %v", fracG, fracC)
+	}
+	// With its full window the GPU recovers.
+	full := FermiLike()
+	rfull, err := Simulate(p, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rfull.FlopRate/full.PeakFlopRate() < 0.8 {
+		t.Errorf("GPU with full window = %v of peak", rfull.FlopRate/full.PeakFlopRate())
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r, err := Simulate(poly(t, 8, 256), NehalemLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	for _, want := range []string{"cycles", "GFLOP/s", "GB/s", "bound"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := poly(t, 16, 512)
+	a, err := Simulate(p, NehalemLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p, NehalemLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.FlopRate != b.FlopRate {
+		t.Error("simulation must be deterministic")
+	}
+}
+
+func TestRooflineCrossoverInPipelineModel(t *testing.T) {
+	// Sweep intensity through the generated kernels: low intensity is
+	// bandwidth-bound, high is issue-bound, with the crossover near the
+	// configuration's own balance point
+	// Bτ(cfg) = PeakFlopRate/PeakBandwidth (flops per byte).
+	cfg := NehalemLike()
+	bt := cfg.PeakFlopRate() / cfg.PeakBandwidth() // ≈ 0.75 flop/byte... scaled by word use
+	var lastBound Bound
+	crossed := false
+	for _, fmas := range []int{1, 2, 4, 8, 16, 64} {
+		m, err := microbench.GenerateFMAMix(fmas, 4, 2048, machine.Double)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Simulate(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastBound == BandwidthBound && r.Bound == IssueBound {
+			crossed = true
+		}
+		lastBound = r.Bound
+	}
+	if !crossed && lastBound != IssueBound {
+		t.Errorf("no bandwidth→issue crossover observed (Bτ(cfg) = %v)", bt)
+	}
+}

@@ -1,0 +1,410 @@
+// Package powermon simulates the paper's measurement apparatus: a
+// PowerMon 2 board plus PCIe interposer (§IV-A, Fig. 3). It samples the
+// instantaneous power of a running kernel on several DC channels at a
+// configurable rate (the paper samples at 128 Hz per channel, a 7.8125 ms
+// period), reports time-stamped voltage/current readings, and computes
+// average power and total energy exactly the way the paper does:
+// per-sample power is ΣV·I over channels, average power is the mean over
+// samples, and energy is average power times total time.
+package powermon
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Source yields the instantaneous power of a device under test at time
+// t from the start of a run. *sim.Run satisfies this interface.
+type Source interface {
+	PowerAt(t units.Seconds) units.Watts
+}
+
+// Channel is one monitored DC supply rail.
+type Channel struct {
+	// Name labels the rail, e.g. "12V-8pin".
+	Name string
+	// NominalVolts is the rail's nominal voltage.
+	NominalVolts float64
+	// Share is the fraction of total device power drawn over this rail;
+	// shares across a monitor's channels must sum to 1.
+	Share float64
+}
+
+// GPUChannels returns the four rails the paper monitors for the GPU:
+// the 8-pin and 6-pin 12 V PSU connectors and, via the PCIe interposer,
+// the motherboard's 12 V and 3.3 V slot supplies.
+func GPUChannels() []Channel {
+	return []Channel{
+		{Name: "12V-8pin", NominalVolts: 12, Share: 0.45},
+		{Name: "12V-6pin", NominalVolts: 12, Share: 0.30},
+		{Name: "PCIe-12V", NominalVolts: 12, Share: 0.20},
+		{Name: "PCIe-3.3V", NominalVolts: 3.3, Share: 0.05},
+	}
+}
+
+// CPUChannels returns the four rails the paper monitors for the CPU
+// system: the 20-pin connector's 3.3 V, 5 V and 12 V sources plus the
+// 4-pin 12 V connector.
+func CPUChannels() []Channel {
+	return []Channel{
+		{Name: "ATX-3.3V", NominalVolts: 3.3, Share: 0.05},
+		{Name: "ATX-5V", NominalVolts: 5, Share: 0.10},
+		{Name: "ATX-12V", NominalVolts: 12, Share: 0.40},
+		{Name: "ATX12V-4pin", NominalVolts: 12, Share: 0.45},
+	}
+}
+
+// Config controls the monitor.
+type Config struct {
+	// RateHz is the per-channel sampling rate; defaults to the paper's
+	// 128 Hz. PowerMon 2 supports up to 1024 Hz per channel.
+	RateHz float64
+	// VoltNoiseSD is the relative noise on each voltage reading
+	// (default 0.002).
+	VoltNoiseSD float64
+	// CurrNoiseSD is the relative noise on each current reading
+	// (default 0.005).
+	CurrNoiseSD float64
+	// Seed makes the measurement noise deterministic.
+	Seed int64
+	// MaxSamples bounds a single trace (default 4 << 20).
+	MaxSamples int
+	// DropoutProb is the per-sample probability that the board misses
+	// the reading entirely (serial glitch); dropped samples are absent
+	// from the trace rather than recorded as zeros, so the averaging
+	// pipeline stays unbiased. Default 0.
+	DropoutProb float64
+	// GainError is a per-channel multiplicative calibration error drawn
+	// once at construction from N(1, GainError) — the systematic bias a
+	// shunt-resistor tolerance introduces. Unlike sample noise it does
+	// not average out; Calibrate removes it. Default 0.
+	GainError float64
+}
+
+// Monitor samples a Source over a set of channels.
+type Monitor struct {
+	channels []Channel
+	cfg      Config
+	rng      *stats.Rand
+	// gain holds the hidden per-channel systematic error; trim holds
+	// the correction Calibrate computes (identity before calibration).
+	gain []float64
+	trim []float64
+}
+
+// New builds a monitor. Channel shares must sum to 1 (±1e-9) and all
+// rails must have positive nominal voltage.
+func New(channels []Channel, cfg Config) (*Monitor, error) {
+	if len(channels) == 0 {
+		return nil, errors.New("powermon: need at least one channel")
+	}
+	sum := 0.0
+	for i, c := range channels {
+		if c.NominalVolts <= 0 {
+			return nil, fmt.Errorf("powermon: channel %d (%s) has non-positive voltage", i, c.Name)
+		}
+		if c.Share < 0 {
+			return nil, fmt.Errorf("powermon: channel %d (%s) has negative share", i, c.Name)
+		}
+		sum += c.Share
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		return nil, fmt.Errorf("powermon: channel shares sum to %g, want 1", sum)
+	}
+	if cfg.RateHz == 0 {
+		cfg.RateHz = 128
+	}
+	if cfg.RateHz <= 0 {
+		return nil, errors.New("powermon: sampling rate must be positive")
+	}
+	if cfg.VoltNoiseSD == 0 {
+		cfg.VoltNoiseSD = 0.002
+	}
+	if cfg.CurrNoiseSD == 0 {
+		cfg.CurrNoiseSD = 0.005
+	}
+	if cfg.VoltNoiseSD < 0 || cfg.CurrNoiseSD < 0 {
+		return nil, errors.New("powermon: negative noise")
+	}
+	if cfg.MaxSamples == 0 {
+		cfg.MaxSamples = 4 << 20
+	}
+	if cfg.DropoutProb < 0 || cfg.DropoutProb >= 1 {
+		return nil, errors.New("powermon: dropout probability must be in [0, 1)")
+	}
+	if cfg.GainError < 0 || cfg.GainError > 0.5 {
+		return nil, errors.New("powermon: gain error must be in [0, 0.5]")
+	}
+	m := &Monitor{
+		channels: append([]Channel(nil), channels...),
+		cfg:      cfg,
+		rng:      stats.NewRand(cfg.Seed),
+		gain:     make([]float64, len(channels)),
+		trim:     make([]float64, len(channels)),
+	}
+	for i := range m.gain {
+		m.gain[i] = 1
+		m.trim[i] = 1
+		if cfg.GainError > 0 {
+			m.gain[i] = m.rng.RelNoise(cfg.GainError)
+		}
+	}
+	return m, nil
+}
+
+// Calibrate measures a known constant load and sets per-channel trim
+// factors that cancel the gain error — the standard shunt-calibration
+// procedure for a PowerMon-class board. The reference wattage must be
+// positive and the measurement long enough for at least one sample per
+// channel.
+func (m *Monitor) Calibrate(referenceWatts float64, duration units.Seconds) error {
+	if referenceWatts <= 0 {
+		return errors.New("powermon: reference load must be positive")
+	}
+	// Reset trims so the calibration measurement sees the raw gains.
+	for i := range m.trim {
+		m.trim[i] = 1
+	}
+	tr, err := m.Measure(constReference(referenceWatts), duration)
+	if err != nil {
+		return err
+	}
+	st, err := tr.Stats()
+	if err != nil {
+		return err
+	}
+	for c, ch := range m.channels {
+		want := referenceWatts * ch.Share
+		got := float64(st.ChannelMeanPower[c])
+		if got <= 0 {
+			return fmt.Errorf("powermon: channel %s measured no power during calibration", ch.Name)
+		}
+		m.trim[c] = want / got
+	}
+	return nil
+}
+
+// constReference is the known calibration load.
+type constReference float64
+
+// PowerAt implements Source.
+func (c constReference) PowerAt(units.Seconds) units.Watts { return units.Watts(c) }
+
+// Sample is one time-stamped reading across all channels.
+type Sample struct {
+	// T is the time from the start of the run.
+	T units.Seconds
+	// Volts holds the per-channel voltage readings.
+	Volts []float64
+	// Amps holds the per-channel current readings.
+	Amps []float64
+}
+
+// Power returns the instantaneous total power of the sample: Σ V·I.
+func (s *Sample) Power() units.Watts {
+	p := 0.0
+	for i := range s.Volts {
+		p += s.Volts[i] * s.Amps[i]
+	}
+	return units.Watts(p)
+}
+
+// Trace is a complete measurement of one run.
+type Trace struct {
+	// Channels are the monitored rails, in sample column order.
+	Channels []Channel
+	// Samples are the readings, in time order.
+	Samples []Sample
+	// Duration is the run's total wall time.
+	Duration units.Seconds
+	// Dropped counts samples the board failed to record.
+	Dropped int
+}
+
+// Measure samples the source for the given duration. The first sample
+// is taken at half a period (mid-interval sampling), the rest at the
+// channel rate.
+func (m *Monitor) Measure(src Source, duration units.Seconds) (*Trace, error) {
+	if duration <= 0 {
+		return nil, errors.New("powermon: non-positive duration")
+	}
+	period := 1 / m.cfg.RateHz
+	n := int(float64(duration) / period)
+	if n < 1 {
+		n = 1
+	}
+	if n > m.cfg.MaxSamples {
+		return nil, fmt.Errorf("powermon: %d samples exceed limit %d; lower the rate or shorten the run", n, m.cfg.MaxSamples)
+	}
+	tr := &Trace{
+		Channels: append([]Channel(nil), m.channels...),
+		Samples:  make([]Sample, 0, n),
+		Duration: duration,
+	}
+	for i := 0; i < n; i++ {
+		if m.cfg.DropoutProb > 0 && m.rng.Float64() < m.cfg.DropoutProb {
+			tr.Dropped++
+			continue
+		}
+		ts := units.Seconds((float64(i) + 0.5) * period)
+		if ts > duration {
+			ts = duration
+		}
+		truth := float64(src.PowerAt(ts))
+		s := Sample{
+			T:     ts,
+			Volts: make([]float64, len(m.channels)),
+			Amps:  make([]float64, len(m.channels)),
+		}
+		for c, ch := range m.channels {
+			v := ch.NominalVolts * m.rng.RelNoise(m.cfg.VoltNoiseSD)
+			chanPower := truth * ch.Share * m.gain[c] * m.trim[c] * m.rng.RelNoise(m.cfg.CurrNoiseSD)
+			s.Volts[c] = v
+			s.Amps[c] = chanPower / v
+		}
+		tr.Samples = append(tr.Samples, s)
+	}
+	if len(tr.Samples) == 0 {
+		return nil, errors.New("powermon: every sample dropped; no measurement")
+	}
+	return tr, nil
+}
+
+// AveragePower is the mean of the per-sample instantaneous powers.
+func (t *Trace) AveragePower() units.Watts {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range t.Samples {
+		sum += float64(t.Samples[i].Power())
+	}
+	return units.Watts(sum / float64(len(t.Samples)))
+}
+
+// Energy is the paper's estimator: average power times total time.
+func (t *Trace) Energy() units.Joules {
+	return t.AveragePower().Mul(t.Duration)
+}
+
+// TraceStats summarises a trace: overall and per-channel power.
+type TraceStats struct {
+	// MeanPower and PeakPower are over the sampled instantaneous power.
+	MeanPower, PeakPower units.Watts
+	// PeakAt is the timestamp of the peak sample.
+	PeakAt units.Seconds
+	// ChannelMeanPower holds each rail's mean power, in channel order.
+	ChannelMeanPower []units.Watts
+	// ChannelShare is each rail's fraction of total energy.
+	ChannelShare []float64
+}
+
+// Stats computes the trace summary. The peak sample is what Fig. 5's
+// "measured max power" points report.
+func (t *Trace) Stats() (TraceStats, error) {
+	if len(t.Samples) == 0 {
+		return TraceStats{}, errors.New("powermon: empty trace")
+	}
+	s := TraceStats{
+		ChannelMeanPower: make([]units.Watts, len(t.Channels)),
+		ChannelShare:     make([]float64, len(t.Channels)),
+	}
+	total := 0.0
+	for i := range t.Samples {
+		sm := &t.Samples[i]
+		p := float64(sm.Power())
+		total += p
+		if units.Watts(p) > s.PeakPower {
+			s.PeakPower = units.Watts(p)
+			s.PeakAt = sm.T
+		}
+		for c := range t.Channels {
+			s.ChannelMeanPower[c] += units.Watts(sm.Volts[c] * sm.Amps[c])
+		}
+	}
+	n := float64(len(t.Samples))
+	s.MeanPower = units.Watts(total / n)
+	for c := range s.ChannelMeanPower {
+		s.ChannelMeanPower[c] /= units.Watts(n)
+		s.ChannelShare[c] = float64(s.ChannelMeanPower[c]) / float64(s.MeanPower)
+	}
+	return s, nil
+}
+
+// WriteCSV emits the trace in the PowerMon-2-style formatted output:
+// a header row, then one row per sample with the timestamp and each
+// channel's voltage and current.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"t_seconds"}
+	for _, c := range t.Channels {
+		header = append(header, c.Name+"_V", c.Name+"_A")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(header))
+	for i := range t.Samples {
+		s := &t.Samples[i]
+		row = row[:0]
+		row = append(row, strconv.FormatFloat(float64(s.T), 'g', 12, 64))
+		for c := range t.Channels {
+			row = append(row,
+				strconv.FormatFloat(s.Volts[c], 'g', 9, 64),
+				strconv.FormatFloat(s.Amps[c], 'g', 9, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. The duration must be
+// supplied by the caller (the CSV carries only sample timestamps).
+func ReadCSV(r io.Reader, channels []Channel, duration units.Seconds) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("powermon: %v", err)
+	}
+	if len(rows) < 1 {
+		return nil, errors.New("powermon: empty CSV")
+	}
+	wantCols := 1 + 2*len(channels)
+	if len(rows[0]) != wantCols {
+		return nil, fmt.Errorf("powermon: header has %d columns, want %d", len(rows[0]), wantCols)
+	}
+	tr := &Trace{Channels: append([]Channel(nil), channels...), Duration: duration}
+	for ri, row := range rows[1:] {
+		if len(row) != wantCols {
+			return nil, fmt.Errorf("powermon: row %d has %d columns, want %d", ri+1, len(row), wantCols)
+		}
+		ts, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("powermon: row %d timestamp: %v", ri+1, err)
+		}
+		s := Sample{
+			T:     units.Seconds(ts),
+			Volts: make([]float64, len(channels)),
+			Amps:  make([]float64, len(channels)),
+		}
+		for c := range channels {
+			if s.Volts[c], err = strconv.ParseFloat(row[1+2*c], 64); err != nil {
+				return nil, fmt.Errorf("powermon: row %d volts: %v", ri+1, err)
+			}
+			if s.Amps[c], err = strconv.ParseFloat(row[2+2*c], 64); err != nil {
+				return nil, fmt.Errorf("powermon: row %d amps: %v", ri+1, err)
+			}
+		}
+		tr.Samples = append(tr.Samples, s)
+	}
+	return tr, nil
+}

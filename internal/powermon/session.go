@@ -1,0 +1,123 @@
+package powermon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/units"
+)
+
+// A Session records a batch of measured runs to disk the way a
+// PowerMon 2 capture session does: one time-stamped CSV per run plus a
+// manifest describing the channels and per-run durations, so the whole
+// campaign can be reloaded and re-analysed offline.
+type Session struct {
+	dir      string
+	monitor  *Monitor
+	manifest sessionManifest
+}
+
+// sessionManifest is the on-disk index of a session.
+type sessionManifest struct {
+	// Channels are the monitored rails, in CSV column order.
+	Channels []Channel `json:"channels"`
+	// Runs lists the recorded captures.
+	Runs []sessionRun `json:"runs"`
+}
+
+// sessionRun is one capture's metadata.
+type sessionRun struct {
+	// Label names the run (e.g. "I=2.0 rep 7").
+	Label string `json:"label"`
+	// File is the CSV file name within the session directory.
+	File string `json:"file"`
+	// DurationSeconds is the run's wall time.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// EnergyJoules is the trace's integrated energy, for quick access.
+	EnergyJoules float64 `json:"energy_joules"`
+}
+
+// NewSession creates a recording session in dir (created if needed).
+func NewSession(dir string, m *Monitor) (*Session, error) {
+	if m == nil {
+		return nil, errors.New("powermon: nil monitor")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Session{
+		dir:      dir,
+		monitor:  m,
+		manifest: sessionManifest{Channels: append([]Channel(nil), m.channels...)},
+	}, nil
+}
+
+// Record measures src for the given duration, writes the trace CSV, and
+// appends it to the manifest.
+func (s *Session) Record(label string, src Source, duration units.Seconds) (*Trace, error) {
+	tr, err := s.monitor.Measure(src, duration)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("run-%03d.csv", len(s.manifest.Runs))
+	f, err := os.Create(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	s.manifest.Runs = append(s.manifest.Runs, sessionRun{
+		Label:           label,
+		File:            name,
+		DurationSeconds: float64(duration),
+		EnergyJoules:    float64(tr.Energy()),
+	})
+	return tr, nil
+}
+
+// Close writes the manifest. The session remains usable for reading.
+func (s *Session) Close() error {
+	data, err := json.MarshalIndent(&s.manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.dir, "manifest.json"), data, 0o644)
+}
+
+// LoadSession reads a recorded session directory back: labels mapped to
+// reloaded traces.
+func LoadSession(dir string) (map[string]*Trace, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var man sessionManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("powermon: manifest: %w", err)
+	}
+	out := make(map[string]*Trace, len(man.Runs))
+	for _, run := range man.Runs {
+		f, err := os.Open(filepath.Join(dir, run.File))
+		if err != nil {
+			return nil, err
+		}
+		tr, err := ReadCSV(f, man.Channels, units.Seconds(run.DurationSeconds))
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("powermon: %s: %w", run.File, err)
+		}
+		if _, dup := out[run.Label]; dup {
+			return nil, fmt.Errorf("powermon: duplicate run label %q", run.Label)
+		}
+		out[run.Label] = tr
+	}
+	return out, nil
+}

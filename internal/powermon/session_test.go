@@ -1,0 +1,89 @@
+package powermon
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSessionRecordAndReload(t *testing.T) {
+	dir := t.TempDir()
+	m := noiseless(t, GPUChannels(), 256)
+	sess, err := NewSession(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := sess.Record("steady-120W", constSource(120), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Record("ramp-200W", rampSource{peak: 200, dur: 0.5}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("loaded %d runs", len(loaded))
+	}
+	got := loaded["steady-120W"]
+	if got == nil {
+		t.Fatal("steady run missing")
+	}
+	if stats.RelErr(float64(got.Energy()), float64(tr1.Energy())) > 1e-6 {
+		t.Errorf("reloaded energy %v vs recorded %v", got.Energy(), tr1.Energy())
+	}
+	if stats.RelErr(float64(loaded["ramp-200W"].AveragePower()), 100) > 0.01 {
+		t.Errorf("ramp mean power = %v", loaded["ramp-200W"].AveragePower())
+	}
+	// Files exist on disk.
+	if _, err := os.Stat(filepath.Join(dir, "run-000.csv")); err != nil {
+		t.Error(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	if _, err := NewSession(t.TempDir(), nil); err == nil {
+		t.Error("nil monitor accepted")
+	}
+	if _, err := LoadSession(t.TempDir()); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	// Corrupt manifest.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSession(dir); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+	// Duplicate labels rejected at load.
+	dir2 := t.TempDir()
+	m := noiseless(t, GPUChannels(), 128)
+	sess, err := NewSession(dir2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Record("x", constSource(10), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Record("x", constSource(20), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSession(dir2); err == nil {
+		t.Error("duplicate labels accepted")
+	}
+}

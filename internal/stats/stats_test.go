@@ -1,0 +1,302 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || m != 5 {
+		t.Fatalf("Mean = %v, %v; want 5", m, err)
+	}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of squared deviations is 32; unbiased variance 32/7.
+	if math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	sd, _ := StdDev(xs)
+	if math.Abs(sd-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("StdDev = %v", sd)
+	}
+}
+
+func TestEmptyErrors(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Error("Mean(nil) should fail")
+	}
+	if _, err := Variance([]float64{1}); err != ErrEmpty {
+		t.Error("Variance of single sample should fail")
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Error("Min(nil) should fail")
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Error("Max(nil) should fail")
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Error("Percentile(nil) should fail")
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Error("Summarize(nil) should fail")
+	}
+	if _, err := GeoMean(nil); err != ErrEmpty {
+		t.Error("GeoMean(nil) should fail")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{75, 40},
+		{40, 20 + 0.6*15}, // rank 1.6 between 20 and 35
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("negative percentile should fail")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error(">100 percentile should fail")
+	}
+	// Input must not be reordered.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile modified its input")
+	}
+	one, _ := Percentile([]float64{7}, 90)
+	if one != 7 {
+		t.Errorf("single-element percentile = %v", one)
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, p uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pp := float64(p) / 255 * 100
+		got, err := Percentile(xs, pp)
+		if err != nil {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return got >= mn && got <= mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(11, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr(11,10) = %v", got)
+	}
+	if got := RelErr(0, 0); got != 0 {
+		t.Errorf("RelErr(0,0) = %v", got)
+	}
+	if got := RelErr(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelErr(1,0) = %v", got)
+	}
+}
+
+func TestMedianRelErr(t *testing.T) {
+	got := []float64{10, 22, 28}
+	want := []float64{10, 20, 40}
+	m, err := MedianRelErr(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// errors: 0, 0.1, 0.3 -> median 0.1
+	if math.Abs(m-0.1) > 1e-12 {
+		t.Errorf("MedianRelErr = %v, want 0.1", m)
+	}
+	if _, err := MedianRelErr([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.P25 != 2 || s.P75 != 4 {
+		t.Errorf("quartiles = %v, %v", s.P25, s.P75)
+	}
+	single, err := Summarize([]float64{9})
+	if err != nil || single.StdDev != 0 || single.Mean != 9 {
+		t.Errorf("single summary = %+v, %v", single, err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a2 := NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different streams")
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := NewRand(7)
+	n := 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Gaussian(10, 2)
+	}
+	m, _ := Mean(xs)
+	sd, _ := StdDev(xs)
+	if math.Abs(m-10) > 0.05 {
+		t.Errorf("gaussian mean = %v", m)
+	}
+	if math.Abs(sd-2) > 0.05 {
+		t.Errorf("gaussian sd = %v", sd)
+	}
+}
+
+func TestRelNoiseClamped(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		f := r.RelNoise(1.0) // huge sd to exercise clamping
+		if f < 0.05 || f > 1.95 {
+			t.Fatalf("RelNoise escaped clamp: %v", f)
+		}
+	}
+	// Small sd noise should center on 1.
+	sum := 0.0
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += r.RelNoise(0.01)
+	}
+	if math.Abs(sum/float64(n)-1) > 0.005 {
+		t.Errorf("RelNoise mean = %v", sum/float64(n))
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	r := NewRand(3)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.Gaussian(50, 5)
+	}
+	lo, hi, err := BootstrapCI(r, xs, 500, 0.95, func(s []float64) float64 {
+		m, _ := Mean(s)
+		return m
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("CI inverted: [%v, %v]", lo, hi)
+	}
+	if lo > 50 || hi < 50 {
+		t.Errorf("CI [%v, %v] should contain the true mean 50", lo, hi)
+	}
+	if hi-lo > 3 {
+		t.Errorf("CI suspiciously wide: [%v, %v]", lo, hi)
+	}
+	if _, _, err := BootstrapCI(r, nil, 10, 0.95, func([]float64) float64 { return 0 }); err == nil {
+		t.Error("empty bootstrap should fail")
+	}
+	if _, _, err := BootstrapCI(r, xs, 0, 0.95, func([]float64) float64 { return 0 }); err == nil {
+		t.Error("zero rounds should fail")
+	}
+	if _, _, err := BootstrapCI(r, xs, 10, 1.5, func([]float64) float64 { return 0 }); err == nil {
+		t.Error("bad level should fail")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-10) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 10", g)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative geomean should fail")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	if mn != -1 || mx != 5 {
+		t.Errorf("Min/Max = %v/%v", mn, mx)
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100} // one gross outlier
+	plain, _ := Mean(xs)
+	trimmed, err := TrimmedMean(xs, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trimming one from each tail leaves {2, 3, 4}.
+	if trimmed != 3 {
+		t.Errorf("TrimmedMean = %v, want 3", trimmed)
+	}
+	if math.Abs(plain-22) > 1e-12 {
+		t.Errorf("plain mean = %v", plain)
+	}
+	// trim 0 is the plain mean.
+	zero, _ := TrimmedMean(xs, 0)
+	if zero != plain {
+		t.Error("trim=0 should equal the mean")
+	}
+	if _, err := TrimmedMean(nil, 0.1); err != ErrEmpty {
+		t.Error("empty trimmed mean should fail")
+	}
+	if _, err := TrimmedMean(xs, 0.5); err == nil {
+		t.Error("trim=0.5 accepted")
+	}
+	if _, err := TrimmedMean(xs, -0.1); err == nil {
+		t.Error("negative trim accepted")
+	}
+	// Input not reordered.
+	if xs[4] != 100 {
+		t.Error("TrimmedMean modified its input")
+	}
+}

@@ -1,0 +1,184 @@
+// Package units provides the physical quantities used throughout the
+// energy-roofline model: time, energy, power, data volume, and operation
+// counts, together with SI-prefixed formatting and parsing.
+//
+// All quantities are represented as float64 in base SI units (seconds,
+// Joules, Watts, bytes, operations). Distinct named types keep the
+// public API self-documenting and prevent accidental unit mixups, while
+// conversion helpers keep arithmetic convenient where the model needs it
+// (for example, Energy/Time -> Power).
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Seconds is a span of time in seconds.
+type Seconds float64
+
+// Joules is an amount of energy in Joules.
+type Joules float64
+
+// Watts is a power draw in Watts (Joules per second).
+type Watts float64
+
+// Bytes is a data volume in bytes. It is a float because the model
+// frequently works with fractional per-operation byte costs.
+type Bytes float64
+
+// Flops is a count of "useful" arithmetic operations (the paper's W).
+type Flops float64
+
+// Common derived helpers.
+
+// Div returns the power that results from spending e Joules over t seconds.
+func (e Joules) Div(t Seconds) Watts {
+	return Watts(float64(e) / float64(t))
+}
+
+// Mul returns the energy accumulated by drawing p Watts for t seconds.
+func (p Watts) Mul(t Seconds) Joules {
+	return Joules(float64(p) * float64(t))
+}
+
+// PerSecond interprets a flop count over a duration as a rate in FLOP/s.
+func (f Flops) PerSecond(t Seconds) float64 {
+	return float64(f) / float64(t)
+}
+
+// PerJoule interprets a flop count over an energy as efficiency in FLOP/J.
+func (f Flops) PerJoule(e Joules) float64 {
+	return float64(f) / float64(e)
+}
+
+// SI prefix handling -------------------------------------------------------
+
+var siPrefixes = []struct {
+	symbol string
+	scale  float64
+}{
+	{"P", 1e15},
+	{"T", 1e12},
+	{"G", 1e9},
+	{"M", 1e6},
+	{"k", 1e3},
+	{"", 1},
+	{"m", 1e-3},
+	{"u", 1e-6},
+	{"n", 1e-9},
+	{"p", 1e-12},
+	{"f", 1e-15},
+}
+
+// FormatSI renders v with an SI prefix and the given unit suffix, using
+// sig significant digits, e.g. FormatSI(1.9e-12, "s", 3) == "1.90 ps".
+// Zero, NaN and infinities are rendered without a prefix.
+func FormatSI(v float64, unit string, sig int) string {
+	if sig < 1 {
+		sig = 3
+	}
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return trimFloat(v, sig) + " " + unit
+	}
+	av := math.Abs(v)
+	for _, p := range siPrefixes {
+		if av >= p.scale {
+			return trimFloat(v/p.scale, sig) + " " + p.symbol + unit
+		}
+	}
+	last := siPrefixes[len(siPrefixes)-1]
+	return trimFloat(v/last.scale, sig) + " " + last.symbol + unit
+}
+
+func trimFloat(v float64, sig int) string {
+	s := strconv.FormatFloat(v, 'g', sig, 64)
+	// Expand exponent notation for small magnitudes 'g' may emit.
+	if strings.ContainsAny(s, "eE") {
+		s = strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return s
+}
+
+// ParseSI parses a string like "513 pJ", "25.6 GB", or "122W" and
+// returns the value in base units together with the unit suffix that
+// remained after stripping the prefix.
+func ParseSI(s string) (value float64, unit string, err error) {
+	s = strings.TrimSpace(s)
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			// Accept 'e'/'E' only when part of an exponent (preceded by digit).
+			if (c == 'e' || c == 'E') && (i == 0 || !isDigitByte(s[i-1])) {
+				break
+			}
+			i++
+			continue
+		}
+		break
+	}
+	numPart := strings.TrimSpace(s[:i])
+	rest := strings.TrimSpace(s[i:])
+	if numPart == "" {
+		return 0, "", fmt.Errorf("units: no numeric part in %q", s)
+	}
+	v, err := strconv.ParseFloat(numPart, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("units: bad number in %q: %v", s, err)
+	}
+	if rest == "" {
+		return v, "", nil
+	}
+	for _, p := range siPrefixes {
+		if p.symbol != "" && strings.HasPrefix(rest, p.symbol) && len(rest) > len(p.symbol) {
+			return v * p.scale, rest[len(p.symbol):], nil
+		}
+	}
+	return v, rest, nil
+}
+
+func isDigitByte(c byte) bool { return c >= '0' && c <= '9' }
+
+// String implementations ----------------------------------------------------
+
+// String renders the duration with an SI prefix.
+func (t Seconds) String() string { return FormatSI(float64(t), "s", 4) }
+
+// String renders the energy with an SI prefix.
+func (e Joules) String() string { return FormatSI(float64(e), "J", 4) }
+
+// String renders the power with an SI prefix.
+func (p Watts) String() string { return FormatSI(float64(p), "W", 4) }
+
+// String renders the volume with an SI prefix.
+func (b Bytes) String() string { return FormatSI(float64(b), "B", 4) }
+
+// String renders the operation count with an SI prefix.
+func (f Flops) String() string { return FormatSI(float64(f), "flop", 4) }
+
+// Convenience constructors mirroring the magnitudes the paper uses.
+
+// PicoJoules returns v pJ as Joules.
+func PicoJoules(v float64) Joules { return Joules(v * 1e-12) }
+
+// NanoSeconds returns v ns as Seconds.
+func NanoSeconds(v float64) Seconds { return Seconds(v * 1e-9) }
+
+// PicoSeconds returns v ps as Seconds.
+func PicoSeconds(v float64) Seconds { return Seconds(v * 1e-12) }
+
+// GigaFlopsPerSecond converts a throughput in GFLOP/s to a time-per-flop.
+func GigaFlopsPerSecond(v float64) Seconds { return Seconds(1 / (v * 1e9)) }
+
+// GigaBytesPerSecond converts a bandwidth in GB/s to a time-per-byte.
+func GigaBytesPerSecond(v float64) Seconds { return Seconds(1 / (v * 1e9)) }
+
+// AsPicoJoules reports e in picoJoules.
+func (e Joules) AsPicoJoules() float64 { return float64(e) * 1e12 }
+
+// AsGigaPerSecond interprets t as a time-per-item and reports the
+// corresponding throughput in G items per second.
+func (t Seconds) AsGigaPerSecond() float64 { return 1 / (float64(t) * 1e9) }

@@ -1,0 +1,112 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBoundsHoldAcrossLattice(t *testing.T) {
+	s, err := Run(Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 machines × 2 precisions × 9 intensities.
+	if len(s.Cases) != 36 {
+		t.Fatalf("cases = %d", len(s.Cases))
+	}
+	// §VII: the model lower-bounds time and upper-bounds power.
+	if s.TimeBoundViolations != 0 {
+		t.Errorf("time lower bound violated %d times (worst %v)", s.TimeBoundViolations, s.WorstTimeRatio)
+	}
+	if s.PowerBoundViolations != 0 {
+		t.Errorf("power upper bound violated %d times (worst %v)", s.PowerBoundViolations, s.WorstPowerRatio)
+	}
+	// The bounds are meaningful, not vacuous: the worst ratios stay in
+	// a realistic band (the simulator runs at 73–99% of peak).
+	if s.WorstTimeRatio < 0.97 || s.WorstTimeRatio > 2 {
+		t.Errorf("worst time ratio %v outside plausible band", s.WorstTimeRatio)
+	}
+	if s.WorstPowerRatio > 1.03 || s.WorstPowerRatio < 0.5 {
+		t.Errorf("worst power ratio %v outside plausible band", s.WorstPowerRatio)
+	}
+	// Energy ratios are likewise >= 1 (measured at or above the model's
+	// lower bound) within slack.
+	for _, c := range s.Cases {
+		if c.EnergyRatio < 1-s.Slack {
+			t.Errorf("%s/%v I=%.3g: measured energy %.4f of model (below bound)",
+				c.Machine, c.Precision, c.Intensity, c.EnergyRatio)
+		}
+	}
+}
+
+func TestThrottledPointsDetected(t *testing.T) {
+	// With the default grid, GTX 580 single precision throttles near
+	// its Bτ ≈ 8.2.
+	s, err := Run(Config{Seed: 1, Machines: []string{"gtx580"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	any := false
+	for _, c := range s.Cases {
+		if c.Throttled {
+			any = true
+			// Throttling only slows things down: the time bound holds a
+			// fortiori.
+			if c.TimeRatio < 1 {
+				t.Errorf("throttled point beats the time bound: %+v", c)
+			}
+		}
+	}
+	if !any {
+		t.Error("expected at least one throttled lattice point on the GTX 580")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := Run(Config{Machines: []string{"nope"}}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if _, err := Run(Config{Intensities: []float64{}}); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := Run(Config{Reps: -1}); err == nil {
+		t.Error("negative reps accepted")
+	}
+	if _, err := Run(Config{Slack: -1}); err == nil {
+		t.Error("negative slack accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	s, err := Run(Config{Seed: 2, Machines: []string{"i7-950"}, Intensities: core.LogGrid(1, 4, 4), Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Render()
+	for _, want := range []string{"lattice points", "lower-bound", "upper-bound", "energy error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestCustomGridAndSlack(t *testing.T) {
+	s, err := Run(Config{
+		Seed:        3,
+		Machines:    []string{"i7-950"},
+		Intensities: []float64{0.5, 2, 8},
+		Reps:        3,
+		Slack:       0.10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cases) != 6 {
+		t.Errorf("cases = %d, want 6", len(s.Cases))
+	}
+	if s.Slack != 0.10 {
+		t.Error("slack not propagated")
+	}
+}

@@ -1,0 +1,127 @@
+package energyroofline
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/machine"
+)
+
+// Cross-catalog invariants: every machine in the catalog, at both
+// precisions, must satisfy the model's structural laws. These are the
+// claims of §II–§III checked as universal statements rather than
+// per-platform pins.
+func TestModelInvariantsAcrossCatalog(t *testing.T) {
+	for key, m := range Machines() {
+		for _, prec := range []Precision{Single, Double} {
+			p := FromMachine(m, prec)
+			name := key + "/" + prec.String()
+
+			// Balance points are positive and finite.
+			for label, v := range map[string]float64{
+				"Bτ":       p.BalanceTime(),
+				"Bε":       p.BalanceEnergy(),
+				"B̂ε(y=½)": p.HalfEfficiencyIntensity(),
+			} {
+				if !(v > 0) || math.IsInf(v, 0) {
+					t.Errorf("%s: %s = %v", name, label, v)
+				}
+			}
+
+			// Roofline knee is exact; arch line crosses ½ exactly at the
+			// half-efficiency intensity.
+			if p.RooflineTime(p.BalanceTime()) != 1 {
+				t.Errorf("%s: roofline knee broken", name)
+			}
+			if math.Abs(p.ArchlineEnergy(p.HalfEfficiencyIntensity())-0.5) > 1e-9 {
+				t.Errorf("%s: arch half-crossing broken", name)
+			}
+
+			// The power line peaks at Bτ.
+			bt := p.BalanceTime()
+			for _, f := range []float64{0.25, 0.5, 2, 8} {
+				if p.PowerLine(bt*f) > p.MaxPower()+1e-9 {
+					t.Errorf("%s: power exceeds max at %v·Bτ", name, f)
+				}
+			}
+
+			// Energy efficiency implies time efficiency whenever the gap
+			// is adverse (§II-D corollary).
+			if p.HalfEfficiencyIntensity() >= bt {
+				k := KernelAt(1e9, p.HalfEfficiencyIntensity()*1.01)
+				if p.TimeBound(k).String() != "compute-bound" {
+					t.Errorf("%s: I > B̂ε should imply compute-bound in time", name)
+				}
+			}
+
+			// DVFS threshold law: race-to-halt is optimal for compute-
+			// bound work iff π0 ≥ 2·πflop.
+			k := KernelAt(1e9, 1e9)
+			s, _, err := p.OptimalFreqScale(k, 0.1)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			wantRace := p.Pi0 >= 2*p.PiFlop()
+			if (s == 1) != wantRace {
+				t.Errorf("%s: DVFS optimum s=%v contradicts π0 ≥ 2πflop = %v", name, s, wantRace)
+			}
+
+			// Greenup hard limit: eq. (10) RHS never exceeds 1 + Bε/I.
+			for _, i := range []float64{0.5, 2, 16} {
+				for _, mm := range []float64{2, 16, 1e6} {
+					if p.GreenupConditionRHS(i, mm) > p.MaxExtraWork(i)+1e-12 {
+						t.Errorf("%s: eq.(10) RHS above its m→∞ limit", name)
+					}
+				}
+			}
+
+			// Frame strategies: the chosen one is never worse.
+			frame := 2 * p.Time(KernelAt(1e9, 4))
+			strat, race, pace, err := p.BestFrameStrategy(KernelAt(1e9, 4), frame, float64(m.IdlePower), 0.2)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if strat == core.Race && race > pace {
+				t.Errorf("%s: race chosen while pace is cheaper", name)
+			}
+			if strat == core.Pace && pace >= race {
+				t.Errorf("%s: pace chosen while race is cheaper", name)
+			}
+		}
+	}
+}
+
+// Docs-vs-code consistency: every registered experiment must be
+// documented in DESIGN.md, so the per-experiment index cannot silently
+// drift from the registry.
+func TestDesignDocumentsEveryExperiment(t *testing.T) {
+	data, err := readRepoFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	design := string(data)
+	for _, id := range exp.IDs() {
+		if !strings.Contains(design, id) {
+			t.Errorf("experiment %q not mentioned in DESIGN.md", id)
+		}
+	}
+	// And the measured platforms appear by name.
+	for _, want := range []string{"GTX 580", "i7-950", "Fermi"} {
+		if !strings.Contains(design, want) {
+			t.Errorf("platform %q not mentioned in DESIGN.md", want)
+		}
+	}
+	if len(machine.Catalog()) < 4 {
+		t.Error("catalog shrank unexpectedly")
+	}
+}
+
+// readRepoFile reads a file relative to the repository root (the
+// package directory for root-level tests).
+func readRepoFile(name string) ([]byte, error) {
+	return os.ReadFile(name)
+}

@@ -1,0 +1,103 @@
+// Package energyroofline is the public API of this reproduction of
+// "A Roofline Model of Energy" (Choi, Bedard, Fowler, Vuduc; IPDPS
+// 2013). It re-exports the model (internal/core), the platform catalog
+// (internal/machine), and the experiment registry (internal/exp) so
+// downstream users and the examples work against one import path.
+//
+// Quick start:
+//
+//	m := energyroofline.GTX580()
+//	p := energyroofline.FromMachine(m, energyroofline.Double)
+//	k := energyroofline.KernelAt(1e9, 4) // 1 Gflop at 4 flop/byte
+//	t := p.Time(k)                       // eq. (3)
+//	e := p.Energy(k)                     // eq. (4)/(5)
+//	w := p.AveragePower(k)               // eq. (7)
+package energyroofline
+
+import (
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/machine"
+)
+
+// Model types.
+type (
+	// Params instantiates the model for one machine and precision.
+	Params = core.Params
+	// Kernel is an abstract algorithm: W flops and Q bytes.
+	Kernel = core.Kernel
+	// Tradeoff is a work–communication trade-off (f·W, Q/m).
+	Tradeoff = core.Tradeoff
+	// TradeoffOutcome classifies a trade-off (speedup/greenup/both/neither).
+	TradeoffOutcome = core.TradeoffOutcome
+	// BoundState is memory-bound or compute-bound.
+	BoundState = core.BoundState
+	// LevelTraffic carries per-cache-level bytes for the §V-C
+	// multi-level energy refinement.
+	LevelTraffic = core.LevelTraffic
+	// Machine is a platform description.
+	Machine = machine.Machine
+	// Precision selects single or double precision.
+	Precision = machine.Precision
+	// Experiment is one reproducible table or figure.
+	Experiment = exp.Experiment
+	// ExperimentConfig controls experiment execution.
+	ExperimentConfig = exp.Config
+	// Report is an experiment outcome with paper-vs-reproduced values.
+	Report = exp.Report
+)
+
+// Precision values.
+const (
+	// Single is 32-bit floating point.
+	Single = machine.Single
+	// Double is 64-bit floating point.
+	Double = machine.Double
+)
+
+// Outcome values.
+const (
+	// Neither means the trade-off is slower and less efficient.
+	Neither = core.Neither
+	// SpeedupOnly means faster but not greener.
+	SpeedupOnly = core.SpeedupOnly
+	// GreenupOnly means greener but not faster.
+	GreenupOnly = core.GreenupOnly
+	// Both means faster and greener.
+	Both = core.Both
+)
+
+// FromMachine instantiates model parameters for m at precision p.
+func FromMachine(m *Machine, p Precision) Params { return core.FromMachine(m, p) }
+
+// KernelAt builds a kernel with work w and intensity i (flop/byte).
+func KernelAt(w, i float64) Kernel { return core.KernelAt(w, i) }
+
+// LogGrid returns n log₂-spaced intensities in [lo, hi].
+func LogGrid(lo, hi float64, n int) []float64 { return core.LogGrid(lo, hi, n) }
+
+// GTX580 returns the measured NVIDIA GeForce GTX 580 platform
+// (Tables III and IV).
+func GTX580() *Machine { return machine.GTX580() }
+
+// CoreI7950 returns the measured Intel Core i7-950 platform
+// (Tables III and IV).
+func CoreI7950() *Machine { return machine.CoreI7950() }
+
+// FermiTableII returns the illustrative Fermi-class GPU of Table II.
+func FermiTableII() *Machine { return machine.FermiTableII() }
+
+// FutureBalanceGap returns the hypothetical §VII machine with π0 = 0
+// and a genuine balance gap Bε > Bτ — the regime where race-to-halt
+// breaks and energy efficiency is strictly harder than time efficiency.
+func FutureBalanceGap() *Machine { return machine.FutureBalanceGap() }
+
+// Machines returns the full platform catalog keyed by short name.
+func Machines() map[string]*Machine { return machine.Catalog() }
+
+// Experiments returns every registered table/figure experiment in
+// paper order.
+func Experiments() []Experiment { return exp.All() }
+
+// ExperimentByID looks up one experiment (e.g. "fig4a").
+func ExperimentByID(id string) (Experiment, bool) { return exp.ByID(id) }

@@ -1,0 +1,68 @@
+package energyroofline
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	m := GTX580()
+	p := FromMachine(m, Double)
+	k := KernelAt(1e9, 4)
+	if p.Time(k) <= 0 || p.Energy(k) <= 0 || p.AveragePower(k) <= 0 {
+		t.Fatal("facade model calls broken")
+	}
+	// Compute-bound at I=4 > Bτ≈1.03.
+	if p.TimeBound(k).String() != "compute-bound" {
+		t.Error("I=4 should be compute-bound on the GTX 580 (double)")
+	}
+}
+
+func TestFacadeCatalog(t *testing.T) {
+	if len(Machines()) != 4 {
+		t.Errorf("catalog size = %d", len(Machines()))
+	}
+	if FutureBalanceGap().ConstantPower != 0 {
+		t.Error("future machine should have π0 = 0")
+	}
+	if GTX580().Name != "NVIDIA GTX 580" || CoreI7950().Name != "Intel Core i7-950" {
+		t.Error("catalog names wrong")
+	}
+	if FermiTableII().ConstantPower != 0 {
+		t.Error("Table II device should have π0 = 0")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(Experiments()) < 14 {
+		t.Errorf("experiments = %d, want >= 14", len(Experiments()))
+	}
+	e, ok := ExperimentByID("tableII")
+	if !ok {
+		t.Fatal("tableII missing")
+	}
+	rep, err := e.Run(ExperimentConfig{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures()) != 0 {
+		t.Errorf("tableII failures: %v", rep.Failures())
+	}
+}
+
+func TestFacadeTradeoff(t *testing.T) {
+	p := FromMachine(FermiTableII(), Double)
+	p.Pi0 = 0
+	k := KernelAt(1e9, 1)
+	out := p.Classify(k, Tradeoff{F: 1.01, M: 2})
+	if out != Both {
+		t.Errorf("cheap traffic halving should be Both, got %v", out)
+	}
+}
+
+func TestFacadeLogGrid(t *testing.T) {
+	g := LogGrid(1, 16, 5)
+	if len(g) != 5 || math.Abs(g[4]-16) > 1e-12 {
+		t.Errorf("grid = %v", g)
+	}
+}
