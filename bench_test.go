@@ -11,6 +11,9 @@ package energyroofline
 import (
 	"testing"
 
+	"context"
+
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/machine"
@@ -100,3 +103,30 @@ func BenchmarkModelGreenupClassify(b *testing.B) {
 		}
 	}
 }
+
+// benchCampaign measures one full campaign at a fixed worker count.
+// Compare BenchmarkCampaignSequential against BenchmarkCampaignParallel
+// on a multi-core machine to see the pool's speedup; the outputs are
+// byte-identical by construction, so the comparison is pure scheduling.
+func benchCampaign(b *testing.B, workers int) {
+	b.Helper()
+	cfg := campaign.Default()
+	cfg.Points = 7
+	cfg.Reps = 10
+	cfg.VolumeBytes = 1 << 26
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.RunParallel(context.Background(), cfg, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignSequential runs the measurement campaign on a single
+// worker — the pre-pool baseline.
+func BenchmarkCampaignSequential(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaignParallel runs the same campaign with one worker per
+// CPU. On a 4+ core machine this is expected to be >= 2x faster than
+// BenchmarkCampaignSequential while producing identical artifacts.
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, 0) }

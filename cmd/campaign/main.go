@@ -3,12 +3,19 @@
 // a set of platforms, and writes the fitted machine JSON files a user
 // would feed back into the model.
 //
+// The campaign executes on a bounded worker pool (-workers, default one
+// worker per CPU). Every task derives its noise stream from its
+// identity rather than from execution order, so the output is
+// byte-identical at any worker count; -workers=1 reproduces the
+// sequential run exactly.
+//
 // Usage:
 //
-//	campaign [-config file.json] [-out dir] [-powermon] [-seed N] [-reps N]
+//	campaign [-config file.json] [-out dir] [-powermon] [-seed N] [-reps N] [-workers N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +32,7 @@ func main() {
 		usePM      = flag.Bool("powermon", false, "measure through the sampled power monitor")
 		seed       = flag.Int64("seed", 42, "noise seed")
 		reps       = flag.Int("reps", 0, "override repetitions per point")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = one per CPU; any value produces identical output)")
 	)
 	flag.Parse()
 
@@ -47,7 +55,7 @@ func main() {
 		cfg.Reps = *reps
 	}
 
-	res, err := campaign.Run(cfg)
+	res, err := campaign.RunParallel(context.Background(), cfg, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
 		os.Exit(1)

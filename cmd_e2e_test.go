@@ -274,6 +274,66 @@ func TestCampaignBinary(t *testing.T) {
 	}
 }
 
+// TestCampaignBinaryWorkerInvariance is the end-to-end acceptance test
+// for the parallel campaign engine: the binary's stdout (render plus
+// fitted machine files) must be byte-identical at -workers=1, 2 and 8.
+func TestCampaignBinaryWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "campaign")
+
+	cfgPath := filepath.Join(dir, "cfg.json")
+	cfg := `{"machines":["gtx580","i7-950"],"lo_intensity":0.25,"hi_intensity":16,
+		"points":6,"reps":6,"volume_bytes":67108864,"seed":99}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	type artifact struct {
+		stdout string
+		fitted map[string]string
+	}
+	run := func(workers string) artifact {
+		outDir := filepath.Join(dir, "out-w"+workers)
+		stdout := runBin(t, bin, "-config", cfgPath, "-workers", workers, "-out", outDir)
+		fitted := map[string]string{}
+		for _, key := range []string{"gtx580", "i7-950"} {
+			data, err := os.ReadFile(filepath.Join(outDir, key+"-fitted.json"))
+			if err != nil {
+				t.Fatalf("-workers=%s: %v", workers, err)
+			}
+			fitted[key] = string(data)
+		}
+		// The render itself is identical; only the trailing "wrote ..."
+		// lines name the per-worker-count output directory.
+		stdout = strings.Join(func() []string {
+			var kept []string
+			for _, line := range strings.Split(stdout, "\n") {
+				if !strings.HasPrefix(line, "wrote ") {
+					kept = append(kept, line)
+				}
+			}
+			return kept
+		}(), "\n")
+		return artifact{stdout: stdout, fitted: fitted}
+	}
+
+	want := run("1")
+	for _, workers := range []string{"2", "8"} {
+		got := run(workers)
+		if got.stdout != want.stdout {
+			t.Errorf("-workers=%s stdout differs from -workers=1", workers)
+		}
+		for key := range want.fitted {
+			if got.fitted[key] != want.fitted[key] {
+				t.Errorf("-workers=%s fitted %s JSON differs from -workers=1", workers, key)
+			}
+		}
+	}
+}
+
 func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("e2e runs examples")

@@ -8,14 +8,17 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/microbench"
+	"repro/internal/parallel"
 	"repro/internal/powermon"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -60,7 +63,10 @@ func Default() Config {
 	}
 }
 
-// Validate reports configuration problems.
+// Validate reports configuration problems. It guards every numeric
+// field against the adversarial inputs the fuzz harness feeds through
+// ParseConfig — NaN/Inf bounds, inverted ranges, and grid sizes large
+// enough to exhaust memory all fail here, before any allocation.
 func (c Config) Validate() error {
 	if len(c.Machines) == 0 {
 		return errors.New("campaign: no machines")
@@ -71,14 +77,25 @@ func (c Config) Validate() error {
 			return fmt.Errorf("campaign: unknown machine %q", key)
 		}
 	}
+	for _, v := range []float64{c.LoIntensity, c.HiIntensity, c.VolumeBytes} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("campaign: non-finite numeric field")
+		}
+	}
 	if c.LoIntensity <= 0 || c.HiIntensity <= c.LoIntensity {
 		return errors.New("campaign: bad intensity range")
 	}
 	if c.Points < 4 {
 		return errors.New("campaign: need at least 4 intensity points")
 	}
+	if c.Points > 1<<16 {
+		return fmt.Errorf("campaign: %d intensity points exceed the %d limit", c.Points, 1<<16)
+	}
 	if c.Reps < 1 {
 		return errors.New("campaign: reps must be >= 1")
+	}
+	if c.Reps > 1<<20 {
+		return fmt.Errorf("campaign: %d reps exceed the %d limit", c.Reps, 1<<20)
 	}
 	if c.VolumeBytes <= 0 {
 		return errors.New("campaign: volume must be positive")
@@ -129,86 +146,128 @@ type Result struct {
 	Machines []MachineResult
 }
 
-// Run executes the campaign.
+// ToJSON serialises the complete campaign outcome. For a fixed Config
+// the bytes are identical at every worker count, which is what the
+// golden determinism tests pin.
+func (r *Result) ToJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Run executes the campaign with the default worker count (one worker
+// per CPU). Because every task draws noise from a stream derived from
+// its identity rather than from execution order, the result is
+// byte-identical to RunParallel at any other worker count.
 func Run(cfg Config) (*Result, error) {
+	return RunParallel(context.Background(), cfg, 0)
+}
+
+// RunParallel executes the campaign on a bounded worker pool: machines
+// sweep concurrently, and within each machine the (intensity, rep) grid
+// of both precisions fans out across the same worker budget. workers
+// follows parallel.Workers semantics (< 1 means GOMAXPROCS; 1
+// reproduces the sequential run exactly). The context cancels the
+// campaign between kernel executions.
+//
+// Determinism guarantee: for a fixed Config, the marshalled Result is
+// byte-identical at every worker count. Per-machine engines are seeded
+// from Config.Seed and the machine index, and every repetition derives
+// its own noise stream from (engine seed, precision, grid index, rep) —
+// see stats.DeriveSeed — so neither scheduling nor worker count can
+// reach the artifact.
+func RunParallel(ctx context.Context, cfg Config, workers int) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	catalog := machine.Catalog()
-	res := &Result{Config: cfg}
-	for mi, key := range cfg.Machines {
-		m := catalog[key]
-		eng, err := sim.New(m, sim.DefaultConfig(cfg.Seed+int64(mi)*1001))
-		if err != nil {
-			return nil, err
-		}
-		tuning, quality, err := microbench.AutoTune(eng, machine.Single)
-		if err != nil {
-			return nil, err
-		}
-		var mon *powermon.Monitor
-		if cfg.UsePowerMon {
-			chans := powermon.GPUChannels()
-			if strings.Contains(strings.ToLower(m.Name), "intel") {
-				chans = powermon.CPUChannels()
-			}
-			mon, err = powermon.New(chans, powermon.Config{Seed: cfg.Seed + 7, RateHz: 1024})
-			if err != nil {
-				return nil, err
-			}
-		}
-		var pts []microbench.Point
-		for _, prec := range []machine.Precision{machine.Single, machine.Double} {
-			hi := cfg.HiIntensity
-			if prec == machine.Double {
-				// Match the paper: the double sweep tops out earlier.
-				if hi > 16 {
-					hi = 16
-				}
-			}
-			p, err := microbench.Sweep(eng, prec, microbench.SweepConfig{
-				Intensities: core.LogGrid(cfg.LoIntensity, hi, cfg.Points),
-				VolumeBytes: cfg.VolumeBytes,
-				Reps:        cfg.Reps,
-				Tuning:      tuning,
-				Monitor:     mon,
-				KeepReps:    true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, p...)
-		}
-		coef, _, err := microbench.FitEq9(pts)
-		if err != nil {
-			return nil, err
-		}
-		mr := MachineResult{
-			Key:           key,
-			Name:          m.Name,
-			Tuning:        tuning,
-			TuningQuality: quality,
-			Coefficients:  *coef,
-			TruthEpsS:     float64(m.SP.EnergyPerFlop),
-			TruthEpsD:     float64(m.DP.EnergyPerFlop),
-			TruthEpsMem:   float64(m.EnergyPerByte),
-			TruthPi0:      float64(m.ConstantPower),
-			Points:        len(pts),
-		}
-		for _, pair := range [][2]float64{
-			{coef.EpsSingle, mr.TruthEpsS},
-			{coef.EpsDouble, mr.TruthEpsD},
-			{coef.EpsMem, mr.TruthEpsMem},
-			{coef.Pi0, mr.TruthPi0},
-		} {
-			if re := stats.RelErr(pair[0], pair[1]); re > mr.WorstRelErr {
-				mr.WorstRelErr = re
-			}
-		}
-		mr.Fitted = fittedMachine(m, coef)
-		res.Machines = append(res.Machines, mr)
+	workers = parallel.Workers(workers)
+	mrs, err := parallel.Map(ctx, len(cfg.Machines), workers,
+		func(ctx context.Context, mi int) (MachineResult, error) {
+			return runMachine(ctx, cfg, mi, workers)
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Result{Config: cfg, Machines: mrs}, nil
+}
+
+// runMachine executes one platform's tune→sweep→fit pipeline. The
+// auto-tune phase runs on the engine's own sequential stream (its probe
+// count is data-dependent, so it stays serial); the sweeps fan out.
+func runMachine(ctx context.Context, cfg Config, mi int, workers int) (MachineResult, error) {
+	key := cfg.Machines[mi]
+	m := machine.Catalog()[key]
+	eng, err := sim.New(m, sim.DefaultConfig(cfg.Seed+int64(mi)*1001))
+	if err != nil {
+		return MachineResult{}, err
+	}
+	tuning, quality, err := microbench.AutoTune(eng, machine.Single)
+	if err != nil {
+		return MachineResult{}, err
+	}
+	var mon *powermon.Monitor
+	if cfg.UsePowerMon {
+		chans := powermon.GPUChannels()
+		if strings.Contains(strings.ToLower(m.Name), "intel") {
+			chans = powermon.CPUChannels()
+		}
+		mon, err = powermon.New(chans, powermon.Config{Seed: cfg.Seed + 7 + int64(mi)*1001, RateHz: 1024})
+		if err != nil {
+			return MachineResult{}, err
+		}
+	}
+	var pts []microbench.Point
+	for _, prec := range []machine.Precision{machine.Single, machine.Double} {
+		if err := ctx.Err(); err != nil {
+			return MachineResult{}, err
+		}
+		hi := cfg.HiIntensity
+		if prec == machine.Double {
+			// Match the paper: the double sweep tops out earlier.
+			if hi > 16 {
+				hi = 16
+			}
+		}
+		p, err := microbench.Sweep(eng, prec, microbench.SweepConfig{
+			Intensities: core.LogGrid(cfg.LoIntensity, hi, cfg.Points),
+			VolumeBytes: cfg.VolumeBytes,
+			Reps:        cfg.Reps,
+			Tuning:      tuning,
+			Monitor:     mon,
+			KeepReps:    true,
+			Workers:     workers,
+		})
+		if err != nil {
+			return MachineResult{}, err
+		}
+		pts = append(pts, p...)
+	}
+	coef, _, err := microbench.FitEq9(pts)
+	if err != nil {
+		return MachineResult{}, err
+	}
+	mr := MachineResult{
+		Key:           key,
+		Name:          m.Name,
+		Tuning:        tuning,
+		TuningQuality: quality,
+		Coefficients:  *coef,
+		TruthEpsS:     float64(m.SP.EnergyPerFlop),
+		TruthEpsD:     float64(m.DP.EnergyPerFlop),
+		TruthEpsMem:   float64(m.EnergyPerByte),
+		TruthPi0:      float64(m.ConstantPower),
+		Points:        len(pts),
+	}
+	for _, pair := range [][2]float64{
+		{coef.EpsSingle, mr.TruthEpsS},
+		{coef.EpsDouble, mr.TruthEpsD},
+		{coef.EpsMem, mr.TruthEpsMem},
+		{coef.Pi0, mr.TruthPi0},
+	} {
+		if re := stats.RelErr(pair[0], pair[1]); re > mr.WorstRelErr {
+			mr.WorstRelErr = re
+		}
+	}
+	mr.Fitted = fittedMachine(m, coef)
+	return mr, nil
 }
 
 // fittedMachine builds a machine description whose energy parameters

@@ -1,0 +1,68 @@
+package campaign
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseConfig drives adversarial JSON through the config parser.
+// The properties pinned here: ParseConfig never panics; any config it
+// accepts passes Validate, survives a JSON round-trip unchanged, and
+// carries grid sizes small enough that Run cannot be tricked into
+// allocating unbounded memory.
+func FuzzParseConfig(f *testing.F) {
+	// Seed corpus: the default config, plus representative malformed,
+	// boundary and adversarial documents.
+	if def, err := json.Marshal(Default()); err == nil {
+		f.Add(def)
+	}
+	for _, seed := range []string{
+		``,
+		`{}`,
+		`not json`,
+		`null`,
+		`[1,2,3]`,
+		`{"machines":["gtx580"],"lo_intensity":0.25,"hi_intensity":64,"points":11,"reps":50,"volume_bytes":268435456,"seed":42}`,
+		`{"machines":[],"lo_intensity":1,"hi_intensity":2,"points":4,"reps":1,"volume_bytes":1}`,
+		`{"machines":["nope"],"lo_intensity":1,"hi_intensity":2,"points":4,"reps":1,"volume_bytes":1}`,
+		`{"machines":["gtx580"],"lo_intensity":-1,"hi_intensity":2,"points":4,"reps":1,"volume_bytes":1}`,
+		`{"machines":["gtx580"],"lo_intensity":64,"hi_intensity":0.25,"points":4,"reps":1,"volume_bytes":1}`,
+		`{"machines":["gtx580"],"lo_intensity":1,"hi_intensity":2,"points":-3,"reps":1,"volume_bytes":1}`,
+		`{"machines":["gtx580"],"lo_intensity":1,"hi_intensity":2,"points":99999999,"reps":1,"volume_bytes":1}`,
+		`{"machines":["gtx580"],"lo_intensity":1,"hi_intensity":2,"points":4,"reps":99999999,"volume_bytes":1}`,
+		`{"machines":["gtx580"],"lo_intensity":1e999,"hi_intensity":2,"points":4,"reps":1,"volume_bytes":1}`,
+		`{"machines":["gtx580"],"lo_intensity":1,"hi_intensity":2,"points":4,"reps":1,"volume_bytes":-1}`,
+		`{"machines":["gtx580"],"seed":-9223372036854775808,"lo_intensity":1,"hi_intensity":2,"points":4,"reps":1,"volume_bytes":1}`,
+	} {
+		f.Add([]byte(seed))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			return // rejected input; the only requirement is no panic
+		}
+		// Accepted configs must satisfy every validation invariant...
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ParseConfig accepted a config Validate rejects: %v\n%s", err, data)
+		}
+		if math.IsNaN(cfg.LoIntensity) || math.IsInf(cfg.HiIntensity, 0) ||
+			cfg.Points > 1<<16 || cfg.Reps > 1<<20 {
+			t.Fatalf("adversarial numeric field survived validation: %+v", cfg)
+		}
+		// ...and round-trip through JSON without drift.
+		out, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("accepted config does not marshal: %v", err)
+		}
+		again, err := ParseConfig(out)
+		if err != nil {
+			t.Fatalf("round-tripped config rejected: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(cfg, again) {
+			t.Fatalf("config drifted across a JSON round-trip:\n%+v\n%+v", cfg, again)
+		}
+	})
+}

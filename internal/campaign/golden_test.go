@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden artifact: go test ./internal/campaign -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenConfig is the seed-locked configuration behind the committed
+// golden artifact. Changing any field (or the derivation scheme in
+// stats.DeriveSeed) invalidates the golden; regenerate with -update and
+// review the diff.
+func goldenConfig() Config {
+	c := Default()
+	c.Machines = []string{"gtx580", "i7-950"}
+	c.Points = 5
+	c.Reps = 4
+	c.VolumeBytes = 1 << 26
+	c.Seed = 1234
+	return c
+}
+
+// marshalResult renders a Result the way the golden stores it.
+func marshalResult(t *testing.T, res *Result) []byte {
+	t.Helper()
+	data, err := res.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestGoldenDeterminismAcrossWorkerCounts is the acceptance test for
+// the parallel campaign engine: the marshalled Result must be
+// byte-identical at workers 1, 2 and 8, and must match the committed
+// seed-locked golden file.
+func TestGoldenDeterminismAcrossWorkerCounts(t *testing.T) {
+	cfg := goldenConfig()
+	outputs := map[int][]byte{}
+	for _, workers := range []int{1, 2, 8} {
+		res, err := RunParallel(nil, cfg, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		outputs[workers] = marshalResult(t, res)
+	}
+	for _, workers := range []int{2, 8} {
+		if !bytes.Equal(outputs[workers], outputs[1]) {
+			t.Errorf("workers=%d result differs from sequential run", workers)
+		}
+	}
+
+	golden := filepath.Join("testdata", "campaign_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, outputs[1], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(outputs[1]))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(outputs[1], want) {
+		t.Errorf("campaign output no longer matches %s; if the change is intentional, regenerate with -update and review the diff", golden)
+	}
+}
+
+// TestPowerMonPathWorkerInvariance covers the monitored measurement
+// path, whose per-task monitor forks must be just as order-independent
+// as the bare simulation.
+func TestPowerMonPathWorkerInvariance(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Machines = []string{"i7-950"}
+	cfg.UsePowerMon = true
+	cfg.VolumeBytes = 1 << 28 // long enough runs for the sampler
+	var want []byte
+	for _, workers := range []int{1, 4} {
+		res, err := RunParallel(nil, cfg, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := marshalResult(t, res)
+		if workers == 1 {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d powermon-path result differs from sequential run", workers)
+		}
+	}
+}

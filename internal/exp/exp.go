@@ -22,6 +22,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"strings"
 
 	"repro/internal/chart"
+	"repro/internal/parallel"
 )
 
 // Config controls experiment execution.
@@ -168,6 +170,24 @@ func All() []Experiment {
 		out = append(out, registry[id])
 	}
 	return out
+}
+
+// RunAll executes the given experiments on a bounded worker pool
+// (parallel.Workers semantics: workers < 1 means GOMAXPROCS) and
+// returns their reports in input order. Experiments are independent —
+// each seeds its own simulators from cfg.Seed — so concurrency changes
+// wall time, never report content; the first failure cancels the
+// remaining experiments and is returned annotated with its experiment
+// ID.
+func RunAll(ctx context.Context, selected []Experiment, cfg Config, workers int) ([]*Report, error) {
+	return parallel.Map(ctx, len(selected), workers,
+		func(_ context.Context, i int) (*Report, error) {
+			rep, err := selected[i].Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", selected[i].ID, err)
+			}
+			return rep, nil
+		})
 }
 
 // ByID looks up one experiment.

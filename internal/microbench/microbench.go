@@ -1,11 +1,13 @@
 package microbench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/machine"
+	"repro/internal/parallel"
 	"repro/internal/powermon"
 	"repro/internal/regress"
 	"repro/internal/sim"
@@ -149,12 +151,41 @@ type SweepConfig struct {
 	// individual run as an observation (100 per configuration), which
 	// is what drives its p-values below 1e-14.
 	KeepReps bool
+	// Workers bounds how many (intensity, rep) measurements run
+	// concurrently: < 1 means one worker per CPU (GOMAXPROCS), 1 runs
+	// the sweep inline. Every repetition draws simulator and monitor
+	// noise from a stream derived from (engine seed, precision, grid
+	// index, rep), so the returned points are byte-identical at any
+	// worker count.
+	Workers int
+}
+
+// Derivation stream tags: the namespaces keeping a sweep's kernel noise
+// and its monitor noise on disjoint derived streams (see
+// stats.DeriveSeed).
+const (
+	// sweepStream namespaces the per-repetition simulator noise.
+	sweepStream uint64 = 0x53574550 // "SWEP"
+	// monitorStream namespaces the per-repetition power-monitor noise.
+	monitorStream uint64 = 0x504d4f4e // "PMON"
+)
+
+// repMeasurement is one repetition's contribution to a sweep point.
+type repMeasurement struct {
+	t, e      float64
+	throttled bool
 }
 
 // Sweep runs the microbenchmark at each intensity for one precision.
 // Kernels are generated as explicit instruction streams (GPU-style
 // FMA/load mix), so the W and Q handed to the simulator are the counted
 // ops of a real program body, not free parameters.
+//
+// Repetitions execute on a bounded worker pool (cfg.Workers). Each
+// (grid index, rep) task derives its own simulator — and, when a
+// monitor is configured, monitor — noise stream from the engine seed,
+// so the emitted points do not depend on worker count or scheduling:
+// the parallel sweep is byte-identical to the workers = 1 sweep.
 func Sweep(eng *sim.Engine, prec machine.Precision, cfg SweepConfig) ([]Point, error) {
 	if len(cfg.Intensities) == 0 {
 		return nil, errors.New("microbench: no intensities")
@@ -171,8 +202,15 @@ func Sweep(eng *sim.Engine, prec machine.Precision, cfg SweepConfig) ([]Point, e
 	if cfg.Reps < 1 {
 		return nil, errors.New("microbench: reps must be >= 1")
 	}
-	points := make([]Point, 0, len(cfg.Intensities))
-	for _, target := range cfg.Intensities {
+
+	// Generate every kernel up front, sequentially: program generation
+	// is cheap, deterministic, and shared by all of a grid point's reps.
+	type gridKernel struct {
+		w, q float64
+		spec sim.KernelSpec
+	}
+	grid := make([]gridKernel, len(cfg.Intensities))
+	for gi, target := range cfg.Intensities {
 		if target <= 0 {
 			return nil, fmt.Errorf("microbench: non-positive intensity %g", target)
 		}
@@ -186,49 +224,66 @@ func Sweep(eng *sim.Engine, prec machine.Precision, cfg SweepConfig) ([]Point, e
 			return nil, err
 		}
 		w, q := prog.Counts()
-		spec := sim.KernelSpec{W: w, Q: q, Precision: prec, Tuning: cfg.Tuning}
+		grid[gi] = gridKernel{w: w, q: q, spec: sim.KernelSpec{W: w, Q: q, Precision: prec, Tuning: cfg.Tuning}}
+	}
 
+	// One task per (grid point, repetition); results land at their task
+	// index, so collection order is independent of execution order.
+	reps, err := parallel.Map(context.Background(), len(grid)*cfg.Reps, cfg.Workers,
+		func(_ context.Context, ti int) (repMeasurement, error) {
+			gi, rep := ti/cfg.Reps, ti%cfg.Reps
+			labels := []uint64{0, uint64(prec), uint64(gi), uint64(rep)}
+			labels[0] = sweepStream
+			r, err := eng.RunWith(eng.DeriveRand(labels...), grid[gi].spec)
+			if err != nil {
+				return repMeasurement{}, err
+			}
+			m := repMeasurement{t: float64(r.Duration), e: float64(r.Energy), throttled: r.Throttled}
+			if cfg.Monitor != nil {
+				labels[0] = monitorStream
+				tr, err := cfg.Monitor.Fork(labels...).Measure(r, r.Duration)
+				if err != nil {
+					return repMeasurement{}, err
+				}
+				m.e = float64(tr.Energy())
+			}
+			return m, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	points := make([]Point, 0, len(grid))
+	for gi, g := range grid {
 		var sumT, sumE float64
 		throttled := false
 		for rep := 0; rep < cfg.Reps; rep++ {
-			r, err := eng.Run(spec)
-			if err != nil {
-				return nil, err
-			}
-			throttled = throttled || r.Throttled
-			t := float64(r.Duration)
-			e := float64(r.Energy)
-			if cfg.Monitor != nil {
-				tr, err := cfg.Monitor.Measure(r, r.Duration)
-				if err != nil {
-					return nil, err
-				}
-				e = float64(tr.Energy())
-			}
+			m := reps[gi*cfg.Reps+rep]
+			throttled = throttled || m.throttled
 			if cfg.KeepReps {
 				points = append(points, Point{
-					Intensity: w / q,
-					W:         w,
-					Q:         q,
+					Intensity: g.w / g.q,
+					W:         g.w,
+					Q:         g.q,
 					Precision: prec,
-					Time:      units.Seconds(t),
-					Energy:    units.Joules(e),
-					Power:     units.Watts(e / t),
-					Throttled: r.Throttled,
+					Time:      units.Seconds(m.t),
+					Energy:    units.Joules(m.e),
+					Power:     units.Watts(m.e / m.t),
+					Throttled: m.throttled,
 					Reps:      1,
 				})
 			}
-			sumT += t
-			sumE += e
+			sumT += m.t
+			sumE += m.e
 		}
 		if cfg.KeepReps {
 			continue
 		}
 		n := float64(cfg.Reps)
 		points = append(points, Point{
-			Intensity: w / q,
-			W:         w,
-			Q:         q,
+			Intensity: g.w / g.q,
+			W:         g.w,
+			Q:         g.q,
 			Precision: prec,
 			Time:      units.Seconds(sumT / n),
 			Energy:    units.Joules(sumE / n),

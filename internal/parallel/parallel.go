@@ -1,0 +1,147 @@
+// Package parallel is the deterministic execution engine behind every
+// sweep in the repository: a bounded worker pool with context
+// cancellation, first-error propagation, panic containment, and ordered
+// result collection.
+//
+// The pool makes one promise the measurement pipeline depends on: for a
+// task function whose per-index behaviour does not depend on execution
+// order (each task derives its own random stream from its index — see
+// stats.DeriveSeed), the collected results are identical at any worker
+// count. Workers change wall-clock time, never bytes. Running with
+// workers = 1 executes tasks in index order on the calling goroutine,
+// reproducing a plain loop exactly.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: values below 1 mean "one
+// worker per available CPU" (GOMAXPROCS), anything else is returned
+// unchanged. Flags pass their value straight through this so 0 can be
+// the documented "use all cores" default.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// PanicError wraps a panic recovered from a pool task so that one
+// misbehaving task fails the batch like an error instead of killing the
+// process with goroutine stacks from unrelated workers.
+type PanicError struct {
+	// Index is the task index that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (Workers semantics: < 1 means GOMAXPROCS) and waits for
+// completion. The first failure — lowest task index among the errors
+// actually observed — cancels the context handed to the remaining
+// tasks, and tasks not yet started are skipped. A task panic is
+// recovered into a *PanicError and treated as a failure. With
+// workers = 1 tasks run in index order on the calling goroutine and
+// execution stops at the first error, exactly like a hand-written loop.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := runTask(ctx, i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || cctx.Err() != nil {
+					return
+				}
+				if err := runTask(cctx, i, fn); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return ctx.Err()
+}
+
+// runTask invokes one task with panic containment.
+func runTask(ctx context.Context, i int, fn func(context.Context, int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Index: i, Value: r, Stack: buf}
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// Map runs fn for every index in [0, n) under ForEach's scheduling
+// rules and collects the results in index order, so the output slice is
+// independent of worker count and interleaving. On error the partial
+// results are discarded and the first failure is returned.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -158,6 +158,27 @@ func New(channels []Channel, cfg Config) (*Monitor, error) {
 	return m, nil
 }
 
+// Fork returns a monitor that shares this monitor's channels,
+// configuration, hidden gain error, and calibration trim but draws its
+// sample noise from an independent stream derived from the monitor's
+// seed and the given labels (see stats.DeriveSeed). Forks with equal
+// labels produce identical traces; forks with different labels are
+// uncorrelated. Fork never touches the parent's stream, so forking is
+// invisible to sequential users of the parent.
+//
+// A monitor's Measure mutates its own rng, so a single Monitor must not
+// be shared across goroutines — each concurrent task takes one Fork
+// keyed by its task labels instead. Calibrate still applies to the
+// parent only and must not run concurrently with Measure on any fork
+// (forks created afterwards inherit the new trim).
+func (m *Monitor) Fork(labels ...uint64) *Monitor {
+	f := *m
+	f.rng = stats.DeriveRand(m.cfg.Seed, labels...)
+	f.gain = append([]float64(nil), m.gain...)
+	f.trim = append([]float64(nil), m.trim...)
+	return &f
+}
+
 // Calibrate measures a known constant load and sets per-channel trim
 // factors that cancel the gain error — the standard shunt-calibration
 // procedure for a PowerMon-class board. The reference wattage must be

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/machine"
@@ -426,5 +427,126 @@ func TestCalibrateErrors(t *testing.T) {
 	}
 	if _, err := New(GPUChannels(), Config{GainError: 0.9}); err == nil {
 		t.Error("huge gain error accepted")
+	}
+}
+
+func TestForkReproducibleAndIndependent(t *testing.T) {
+	mon, err := New(GPUChannels(), Config{Seed: 9, RateHz: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := constSource(200)
+	a, err := mon.Fork(1, 2).Measure(src, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mon.Fork(1, 2).Measure(src, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		for c := range a.Samples[i].Volts {
+			if a.Samples[i].Volts[c] != b.Samples[i].Volts[c] || a.Samples[i].Amps[c] != b.Samples[i].Amps[c] {
+				t.Fatalf("sample %d channel %d: forks with equal labels diverge", i, c)
+			}
+		}
+	}
+	c1, err := mon.Fork(2, 1).Measure(src, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Samples {
+		for c := range a.Samples[i].Volts {
+			same = same && a.Samples[i].Volts[c] == c1.Samples[i].Volts[c]
+		}
+	}
+	if same {
+		t.Error("forks with different labels produced identical traces")
+	}
+}
+
+func TestForkDoesNotPerturbParentStream(t *testing.T) {
+	// Two identically seeded monitors; one forks between measurements.
+	// The parents' own traces must stay in lockstep.
+	mk := func() *Monitor {
+		m, err := New(CPUChannels(), Config{Seed: 5, RateHz: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := mk(), mk()
+	src := constSource(120)
+	for i := 0; i < 3; i++ {
+		if _, err := b.Fork(uint64(i)).Measure(src, 0.03); err != nil {
+			t.Fatal(err)
+		}
+		ta, err := a.Measure(src, 0.03)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := b.Measure(src, 0.03)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(ta.Energy()) != float64(tb.Energy()) {
+			t.Fatalf("round %d: forking perturbed the parent's stream", i)
+		}
+	}
+}
+
+func TestForkInheritsCalibration(t *testing.T) {
+	mon, err := New(GPUChannels(), Config{Seed: 3, RateHz: 1024, GainError: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Calibrate(150, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A fork of the calibrated monitor must measure a known load
+	// accurately despite the planted gain error.
+	tr, err := mon.Fork(42).Measure(constSource(150), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(float64(st.MeanPower)-150) / 150; rel > 0.02 {
+		t.Errorf("calibrated fork measured %v W for a 150 W load (%.1f%% off)", st.MeanPower, rel*100)
+	}
+}
+
+func TestConcurrentForksAreRaceFree(t *testing.T) {
+	mon, err := New(GPUChannels(), Config{Seed: 11, RateHz: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := constSource(250)
+	var wg sync.WaitGroup
+	energies := make([]float64, 16)
+	for i := range energies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := mon.Fork(uint64(i % 4)).Measure(src, 0.05)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			energies[i] = float64(tr.Energy())
+		}(i)
+	}
+	wg.Wait()
+	// Forks with equal labels must agree even when raced.
+	for i := range energies {
+		if energies[i] != energies[i%4] {
+			t.Errorf("fork %d diverged from its label twin", i)
+		}
 	}
 }

@@ -13,12 +13,14 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
 
 	"repro/internal/machine"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/units"
 )
@@ -241,8 +243,32 @@ func (r *Run) PowerAt(t units.Seconds) units.Watts {
 	return units.Watts(avg * (1 + 0.02*math.Sin(phase)))
 }
 
-// Run executes the kernel once and returns the measurement record.
+// Run executes the kernel once and returns the measurement record,
+// drawing noise from the engine's own sequential stream. Run is NOT
+// safe for concurrent use — the stream is shared mutable state; parallel
+// callers must use RunWith with a per-task source from DeriveRand.
 func (e *Engine) Run(spec KernelSpec) (*Run, error) {
+	return e.RunWith(e.rng, spec)
+}
+
+// Seed returns the engine's base noise seed — the root every derived
+// per-task stream hangs off.
+func (e *Engine) Seed() int64 { return e.cfg.Seed }
+
+// DeriveRand returns an independent noise stream for one unit of work,
+// derived from the engine's seed and the given labels (stream tag,
+// precision, grid index, repetition, ...). Two calls with equal labels
+// return identical streams; calls with different labels return
+// unrelated ones. Derivation does not consume the engine's sequential
+// stream, so sequential callers are unaffected by parallel ones.
+func (e *Engine) DeriveRand(labels ...uint64) *stats.Rand {
+	return stats.DeriveRand(e.cfg.Seed, labels...)
+}
+
+// RunWith is Run with an explicit noise source. It reads only immutable
+// engine state, so it is safe for concurrent use as long as each
+// goroutine brings its own rng (see DeriveRand).
+func (e *Engine) RunWith(rng *stats.Rand, spec KernelSpec) (*Run, error) {
 	if spec.W < 0 || spec.Q < 0 || spec.W+spec.Q == 0 {
 		return nil, fmt.Errorf("sim: kernel must have non-negative W, Q with W+Q > 0 (got W=%g Q=%g)", spec.W, spec.Q)
 	}
@@ -294,10 +320,10 @@ func (e *Engine) Run(spec KernelSpec) (*Run, error) {
 	obsE := trueE
 	outlier := false
 	if !e.cfg.Ideal {
-		obsT = trueT * e.rng.RelNoise(e.cfg.TimeNoiseSD)
-		obsP := trueE / trueT * e.rng.RelNoise(e.cfg.PowerNoiseSD)
+		obsT = trueT * rng.RelNoise(e.cfg.TimeNoiseSD)
+		obsP := trueE / trueT * rng.RelNoise(e.cfg.PowerNoiseSD)
 		obsE = obsP * obsT
-		if e.cfg.OutlierProb > 0 && e.rng.Float64() < e.cfg.OutlierProb {
+		if e.cfg.OutlierProb > 0 && rng.Float64() < e.cfg.OutlierProb {
 			// Interference stretches the run; the stall burns constant
 			// power but no extra dynamic energy.
 			outlier = true
@@ -337,6 +363,29 @@ func (e *Engine) RunRepeated(spec KernelSpec, reps int) ([]*Run, error) {
 		out[i] = r
 	}
 	return out, nil
+}
+
+// repStream tags the derived-seed namespace RunRepeatedParallel uses,
+// keeping its streams disjoint from any other consumer of DeriveRand.
+const repStream uint64 = 0x73657065 // "reps"
+
+// RunRepeatedParallel executes the kernel reps times across at most
+// workers goroutines (workers < 1 means GOMAXPROCS, 1 runs inline).
+// Unlike RunRepeated, every repetition draws from its own noise stream
+// derived from (engine seed, rep index), so the returned records are
+// byte-identical at any worker count — including workers = 1 — and
+// independent of scheduling. The extra labels extend the derivation,
+// letting callers keep several concurrent rep loops (different grid
+// points, precisions) on disjoint streams.
+func (e *Engine) RunRepeatedParallel(ctx context.Context, spec KernelSpec, reps, workers int, labels ...uint64) ([]*Run, error) {
+	if reps < 1 {
+		return nil, errors.New("sim: reps must be >= 1")
+	}
+	base := append([]uint64{repStream}, labels...)
+	return parallel.Map(ctx, reps, workers, func(_ context.Context, i int) (*Run, error) {
+		rng := e.DeriveRand(append(base[:len(base):len(base)], uint64(i))...)
+		return e.RunWith(rng, spec)
+	})
 }
 
 // Aggregate summarises repeated runs into mean observed time, energy

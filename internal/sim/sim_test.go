@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -495,5 +496,128 @@ func TestPropFreqScaleMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRunWithDerivedStreamReproducible(t *testing.T) {
+	m := machine.GTX580()
+	e, err := New(m, DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := KernelSpec{W: 1e9, Q: 1e9, Precision: machine.Single}
+	a, err := e.RunWith(e.DeriveRand(1, 2, 3), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.RunWith(e.DeriveRand(1, 2, 3), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Error("equal derivation labels must reproduce the run exactly")
+	}
+	c, err := e.RunWith(e.DeriveRand(3, 2, 1), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration == c.Duration {
+		t.Error("different labels should give a different noise draw")
+	}
+	if e.Seed() != 42 {
+		t.Errorf("Seed() = %d", e.Seed())
+	}
+}
+
+func TestRunWithDoesNotTouchEngineStream(t *testing.T) {
+	// Two engines with the same seed: one interleaves derived-stream
+	// runs between its sequential runs, the other does not. The
+	// sequential streams must stay in lockstep — parallel derivation is
+	// invisible to sequential callers.
+	m := machine.GTX580()
+	spec := KernelSpec{W: 1e9, Q: 1e9, Precision: machine.Single}
+	mk := func() *Engine {
+		e, err := New(m, DefaultConfig(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 5; i++ {
+		ra, err := a.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.RunWith(b.DeriveRand(uint64(i)), spec); err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *ra != *rb {
+			t.Fatalf("iteration %d: derived runs perturbed the sequential stream", i)
+		}
+	}
+}
+
+func TestRunRepeatedParallelWorkerInvariance(t *testing.T) {
+	m := machine.CoreI7950()
+	spec := KernelSpec{W: 2e9, Q: 1e9, Precision: machine.Double}
+	var baseline []*Run
+	for _, workers := range []int{1, 2, 8} {
+		e, err := New(m, DefaultConfig(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs, err := e.RunRepeatedParallel(context.Background(), spec, 64, workers, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) != 64 {
+			t.Fatalf("workers=%d: %d runs", workers, len(runs))
+		}
+		if baseline == nil {
+			baseline = runs
+			continue
+		}
+		for i := range runs {
+			if *runs[i] != *baseline[i] {
+				t.Fatalf("workers=%d: run %d differs from workers=1 baseline", workers, i)
+			}
+		}
+	}
+	// Distinct extra labels must shift every repetition's stream.
+	e, err := New(m, DefaultConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := e.RunRepeatedParallel(context.Background(), spec, 64, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range other {
+		if other[i].Duration == baseline[i].Duration {
+			same++
+		}
+	}
+	if same == len(other) {
+		t.Error("different labels reproduced the same repetitions")
+	}
+}
+
+func TestRunRepeatedParallelErrors(t *testing.T) {
+	e, err := New(machine.GTX580(), DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunRepeatedParallel(context.Background(), KernelSpec{W: 1, Q: 1}, 0, 4); err == nil {
+		t.Error("reps=0 accepted")
+	}
+	// An invalid spec must surface the simulator's error through the pool.
+	if _, err := e.RunRepeatedParallel(context.Background(), KernelSpec{W: -1, Q: 1}, 8, 4); err == nil {
+		t.Error("invalid spec accepted")
 	}
 }

@@ -300,3 +300,100 @@ func TestTrimmedMean(t *testing.T) {
 		t.Error("TrimmedMean modified its input")
 	}
 }
+
+func TestSplitMix64KnownVectors(t *testing.T) {
+	// Reference outputs of the SplitMix64 generator (state 0, then the
+	// successive states), from the Vigna reference implementation.
+	if got := SplitMix64(0); got != 0xe220a8397b1dcdaf {
+		t.Errorf("SplitMix64(0) = %#x, want 0xe220a8397b1dcdaf", got)
+	}
+	if got := SplitMix64(0x9e3779b97f4a7c15); got != 0x6e789e6aa1b965f4 {
+		t.Errorf("SplitMix64(1·gamma) = %#x, want 0x6e789e6aa1b965f4", got)
+	}
+	// Bijective finalizer: nearby inputs must not collide.
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		v := SplitMix64(i)
+		if seen[v] {
+			t.Fatalf("collision at input %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDeriveSeedProperties(t *testing.T) {
+	// Deterministic.
+	if DeriveSeed(42, 1, 2, 3) != DeriveSeed(42, 1, 2, 3) {
+		t.Error("DeriveSeed not deterministic")
+	}
+	// Sensitive to the base seed, every label, label order, and label
+	// count — the properties the sweep's task identity scheme relies on.
+	base := DeriveSeed(42, 1, 2, 3)
+	for name, other := range map[string]int64{
+		"different base":  DeriveSeed(43, 1, 2, 3),
+		"different label": DeriveSeed(42, 1, 2, 4),
+		"swapped order":   DeriveSeed(42, 2, 1, 3),
+		"shorter":         DeriveSeed(42, 1, 2),
+		"longer":          DeriveSeed(42, 1, 2, 3, 0),
+		"no labels":       DeriveSeed(42),
+	} {
+		if other == base {
+			t.Errorf("%s: seed collides with base derivation", name)
+		}
+	}
+	// Derivation must not return the base itself (streams must separate).
+	if DeriveSeed(42) == 42 {
+		t.Error("DeriveSeed(base) == base")
+	}
+}
+
+func TestDeriveSeedNoPairwiseCollisions(t *testing.T) {
+	// A realistic campaign grid: 2 streams × 2 precisions × 16 grid
+	// points × 128 reps. Any collision would silently correlate two
+	// measurements.
+	seen := map[int64][]uint64{}
+	for stream := uint64(0); stream < 2; stream++ {
+		for prec := uint64(0); prec < 2; prec++ {
+			for gi := uint64(0); gi < 16; gi++ {
+				for rep := uint64(0); rep < 128; rep++ {
+					s := DeriveSeed(42, stream, prec, gi, rep)
+					if prev, dup := seen[s]; dup {
+						t.Fatalf("seed collision: (%d,%d,%d,%d) vs %v", stream, prec, gi, rep, prev)
+					}
+					seen[s] = []uint64{stream, prec, gi, rep}
+				}
+			}
+		}
+	}
+}
+
+func TestDeriveRandStreams(t *testing.T) {
+	a := DeriveRand(7, 1, 2)
+	b := DeriveRand(7, 1, 2)
+	c := DeriveRand(7, 2, 1)
+	same, diff := true, true
+	for i := 0; i < 32; i++ {
+		va, vb, vc := a.Float64(), b.Float64(), c.Float64()
+		same = same && va == vb
+		diff = diff && va != vc
+	}
+	if !same {
+		t.Error("equal labels must give identical streams")
+	}
+	if !diff {
+		t.Error("different labels must give unrelated streams")
+	}
+}
+
+func TestHashLabelFNVVectors(t *testing.T) {
+	// FNV-1a 64 reference vectors.
+	if got := HashLabel(""); got != 14695981039346656037 {
+		t.Errorf("HashLabel(\"\") = %d", got)
+	}
+	if got := HashLabel("a"); got != 0xaf63dc4c8601ec8c {
+		t.Errorf("HashLabel(\"a\") = %#x", got)
+	}
+	if HashLabel("gtx580") == HashLabel("i7-950") {
+		t.Error("distinct machine keys hash equal")
+	}
+}
