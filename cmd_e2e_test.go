@@ -1,10 +1,14 @@
 package energyroofline
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -330,6 +334,125 @@ func TestCampaignBinaryWorkerInvariance(t *testing.T) {
 			if got.fitted[key] != want.fitted[key] {
 				t.Errorf("-workers=%s fitted %s JSON differs from -workers=1", workers, key)
 			}
+		}
+	}
+}
+
+// TestRooflinedBinary drives the HTTP service end to end: start on an
+// ephemeral port, discover the address from stdout, exercise every
+// endpoint including the cache-hit path, then shut down gracefully via
+// SIGTERM and require a clean exit.
+func TestRooflinedBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "rooflined")
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain", "10s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no announce line: %v", sc.Err())
+	}
+	announce := sc.Text()
+	const prefix = "rooflined listening on "
+	if !strings.HasPrefix(announce, prefix) {
+		t.Fatalf("unexpected announce line %q", announce)
+	}
+	base := strings.TrimPrefix(announce, prefix)
+	// Drain the rest of stdout in the background so shutdown messages
+	// don't block the process.
+	tail := make(chan string, 1)
+	go func() {
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		tail <- strings.Join(lines, "\n")
+	}()
+
+	get := func(path string) (int, string, http.Header) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(data), resp.Header
+	}
+	post := func(path, body string) (int, string, http.Header) {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(data), resp.Header
+	}
+
+	if code, body, _ := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+	if code, body, _ := get("/v1/machines"); code != 200 || !strings.Contains(body, "gtx580") {
+		t.Errorf("machines: %d %q", code, body)
+	}
+	if code, body, _ := post("/v1/eval",
+		`{"machine":"gtx580","precision":"double","intensity":4}`); code != 200 ||
+		!strings.Contains(body, "energy_joules") {
+		t.Errorf("eval: %d %q", code, body)
+	}
+
+	// An identical campaign posted twice: second response must be a
+	// byte-identical cache hit.
+	const campaignBody = `{"machines":["gtx580"],"lo_intensity":0.25,"hi_intensity":16,"points":5,"reps":3,"volume_bytes":1048576,"seed":11}`
+	code1, body1, hdr1 := post("/v1/campaign", campaignBody)
+	code2, body2, hdr2 := post("/v1/campaign", campaignBody)
+	if code1 != 200 || code2 != 200 {
+		t.Fatalf("campaign codes: %d, %d", code1, code2)
+	}
+	if body1 != body2 {
+		t.Error("repeated campaign bodies differ")
+	}
+	if hdr1.Get("X-Cache") != "miss" || hdr2.Get("X-Cache") != "hit" {
+		t.Errorf("X-Cache = %q then %q, want miss then hit", hdr1.Get("X-Cache"), hdr2.Get("X-Cache"))
+	}
+
+	if code, body, _ := get("/metrics"); code != 200 ||
+		!strings.Contains(body, "engine_runs_total 1") ||
+		!strings.Contains(body, "cache_hits_total 1") {
+		t.Errorf("metrics: %d\n%s", code, body)
+	}
+
+	// Graceful shutdown: SIGTERM → drain messages on stdout, exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Drain stdout to EOF before Wait: Wait closes the pipe and would
+	// race with the reader goroutine.
+	out := <-tail
+	if err := cmd.Wait(); err != nil {
+		t.Errorf("exit status: %v", err)
+	}
+	for _, want := range []string{"draining in-flight requests", "shutdown complete"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shutdown log missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -1,0 +1,163 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// marshalCatalog renders the whole catalog deterministically: machines
+// sorted by their short identifier, indented JSON, trailing newline.
+func marshalCatalog(t *testing.T) []byte {
+	t.Helper()
+	cat := Catalog()
+	keys := make([]string, 0, len(cat))
+	for k := range cat {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make([]struct {
+		ID      string   `json:"id"`
+		Machine *Machine `json:"machine"`
+	}, 0, len(keys))
+	for _, k := range keys {
+		ordered = append(ordered, struct {
+			ID      string   `json:"id"`
+			Machine *Machine `json:"machine"`
+		}{k, cat[k]})
+	}
+	data, err := json.MarshalIndent(ordered, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal catalog: %v", err)
+	}
+	return append(data, '\n')
+}
+
+// TestCatalogGolden pins every numeric parameter of every built-in
+// machine against testdata/catalog_golden.json. Any drift in the
+// catalog — the reproduction's stand-in for the paper's Tables II–IV —
+// fails loudly; regenerate deliberately with -update.
+func TestCatalogGolden(t *testing.T) {
+	got := marshalCatalog(t)
+	path := filepath.Join("testdata", "catalog_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("catalog drifted from %s; rerun with -update if intentional\ngot %d bytes, want %d", path, len(got), len(want))
+	}
+}
+
+// TestCatalogGoldenSpotValues re-derives headline Table III/IV numbers
+// from the golden file itself, so the golden cannot silently be
+// regenerated around a transcription error in the catalog.
+func TestCatalogGoldenSpotValues(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "catalog_golden.json"))
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	var entries []struct {
+		ID      string          `json:"id"`
+		Machine json.RawMessage `json:"machine"`
+	}
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*Machine{}
+	for _, e := range entries {
+		var m Machine
+		if err := json.Unmarshal(e.Machine, &m); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		byID[e.ID] = &m
+	}
+
+	// Table III peaks and Table IV fitted energy coefficients.
+	pins := []struct {
+		id   string
+		name string
+		got  func(*Machine) float64
+		want float64
+	}{
+		{"gtx580", "SP peak flops", func(m *Machine) float64 { return m.SP.PeakFlops }, 1581.06e9},
+		{"gtx580", "DP peak flops", func(m *Machine) float64 { return m.DP.PeakFlops }, 197.63e9},
+		{"gtx580", "bandwidth", func(m *Machine) float64 { return m.Bandwidth }, 192.4e9},
+		{"gtx580", "eps_flop single (pJ->J)", func(m *Machine) float64 { return float64(m.SP.EnergyPerFlop) }, 99.7e-12},
+		{"gtx580", "eps_flop double (pJ->J)", func(m *Machine) float64 { return float64(m.DP.EnergyPerFlop) }, 212e-12},
+		{"gtx580", "eps_mem (pJ->J)", func(m *Machine) float64 { return float64(m.EnergyPerByte) }, 513e-12},
+		{"gtx580", "pi0", func(m *Machine) float64 { return float64(m.ConstantPower) }, 122},
+		{"i7-950", "SP peak flops", func(m *Machine) float64 { return m.SP.PeakFlops }, 106.56e9},
+		{"i7-950", "DP peak flops", func(m *Machine) float64 { return m.DP.PeakFlops }, 53.28e9},
+		{"i7-950", "bandwidth", func(m *Machine) float64 { return m.Bandwidth }, 25.6e9},
+		{"i7-950", "eps_flop single (pJ->J)", func(m *Machine) float64 { return float64(m.SP.EnergyPerFlop) }, 371e-12},
+		{"i7-950", "eps_flop double (pJ->J)", func(m *Machine) float64 { return float64(m.DP.EnergyPerFlop) }, 670e-12},
+		{"i7-950", "eps_mem (pJ->J)", func(m *Machine) float64 { return float64(m.EnergyPerByte) }, 795e-12},
+		{"i7-950", "pi0", func(m *Machine) float64 { return float64(m.ConstantPower) }, 122},
+		{"fermi", "DP peak flops", func(m *Machine) float64 { return m.DP.PeakFlops }, 515e9},
+		{"fermi", "bandwidth", func(m *Machine) float64 { return m.Bandwidth }, 144e9},
+		{"fermi", "eps_flop double (pJ->J)", func(m *Machine) float64 { return float64(m.DP.EnergyPerFlop) }, 25e-12},
+		{"fermi", "eps_mem (pJ->J)", func(m *Machine) float64 { return float64(m.EnergyPerByte) }, 360e-12},
+	}
+	for _, pin := range pins {
+		m, ok := byID[pin.id]
+		if !ok {
+			t.Fatalf("machine %q missing from golden", pin.id)
+		}
+		got := pin.got(m)
+		if relDiff(got, pin.want) > 1e-12 {
+			t.Errorf("%s %s = %g, want %g", pin.id, pin.name, got, pin.want)
+		}
+	}
+
+	// The derived balance points of Table II: B_tau = 3.6 (515/144 ≈
+	// 3.58) and B_eps = 360/25 = 14.4 flop/byte.
+	fermi := byID["fermi"]
+	if bt := fermi.BalanceTime(Double); relDiff(bt, 515.0/144.0) > 1e-12 {
+		t.Errorf("fermi B_tau = %g", bt)
+	}
+	if be := fermi.BalanceEnergy(Double); relDiff(be, 14.4) > 1e-12 {
+		t.Errorf("fermi B_eps = %g, want 14.4", be)
+	}
+
+	// Every golden machine must still validate.
+	for id, m := range byID {
+		if err := m.Validate(); err != nil {
+			t.Errorf("golden %s no longer validates: %v", id, err)
+		}
+	}
+}
+
+// relDiff returns |a-b| / max(|a|,|b|,1).
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	den := 1.0
+	for _, v := range []float64{a, b} {
+		if v < 0 {
+			v = -v
+		}
+		if v > den {
+			den = v
+		}
+	}
+	return d / den
+}

@@ -1,0 +1,213 @@
+// Operational telemetry for the long-lived services built on the model
+// (cmd/rooflined): counters, gauges, and latency summaries collected in
+// a registry that renders a plain-text exposition page. This
+// complements the package's paper-facing figures of merit — the same
+// package that ranks kernels by EDP also reports how the service
+// evaluating them is behaving.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count, safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (in-flight requests, cache bytes),
+// safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (use a negative delta to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// latencyBuckets is the number of log₂ histogram buckets; bucket i
+// counts observations in [2ⁱ µs, 2ⁱ⁺¹ µs), spanning 1 µs to ~17 min.
+const latencyBuckets = 30
+
+// Latency is an online summary of observed durations: count, sum, max,
+// and a log₂ histogram for quantile estimates. Safe for concurrent use.
+type Latency struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+	buckets [latencyBuckets]uint64
+}
+
+// Observe records one duration.
+func (l *Latency) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b := 0
+	if us := d.Microseconds(); us > 0 {
+		b = int(math.Log2(float64(us)))
+		if b >= latencyBuckets {
+			b = latencyBuckets - 1
+		}
+	}
+	l.mu.Lock()
+	l.count++
+	l.sum += d
+	if d > l.max {
+		l.max = d
+	}
+	l.buckets[b]++
+	l.mu.Unlock()
+}
+
+// LatencySnapshot is a point-in-time read of a Latency.
+type LatencySnapshot struct {
+	// Count is the number of observations.
+	Count uint64
+	// Mean is the arithmetic mean duration (0 when Count is 0).
+	Mean time.Duration
+	// Max is the largest observation.
+	Max time.Duration
+	// P50 and P99 are histogram-estimated quantiles (upper bucket
+	// edges, so they over-report by at most 2×).
+	P50 time.Duration
+	// P99 is the 99th-percentile estimate.
+	P99 time.Duration
+}
+
+// Snapshot returns a consistent summary of the observations so far.
+func (l *Latency) Snapshot() LatencySnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := LatencySnapshot{Count: l.count, Max: l.max}
+	if l.count == 0 {
+		return s
+	}
+	s.Mean = l.sum / time.Duration(l.count)
+	s.P50 = l.quantileLocked(0.50)
+	s.P99 = l.quantileLocked(0.99)
+	return s
+}
+
+// quantileLocked returns the upper edge of the bucket containing the
+// q-quantile. Callers hold l.mu.
+func (l *Latency) quantileLocked(q float64) time.Duration {
+	rank := uint64(q * float64(l.count))
+	var seen uint64
+	for i, n := range l.buckets {
+		seen += n
+		if seen > rank {
+			return time.Duration(1<<uint(i+1)) * time.Microsecond
+		}
+	}
+	return l.max
+}
+
+// Registry is a named collection of counters, gauges, and latency
+// summaries with a stable plain-text rendering, the backing store for a
+// service's GET /metrics page. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	latencies map[string]*Latency
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:  map[string]*Counter{},
+		gauges:    map[string]*Gauge{},
+		latencies: map[string]*Latency{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Latency returns the named latency summary, creating it on first use.
+func (r *Registry) Latency(name string) *Latency {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.latencies[name]
+	if !ok {
+		l = &Latency{}
+		r.latencies[name] = l
+	}
+	return l
+}
+
+// Render returns the exposition page: one "name value" line per metric,
+// sorted by name so the output is diff-stable. Latencies expand into
+// _count, _mean_seconds, _p50_seconds, _p99_seconds, and _max_seconds
+// lines.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+5*len(r.latencies))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
+	}
+	snaps := make(map[string]LatencySnapshot, len(r.latencies))
+	for name, l := range r.latencies {
+		snaps[name] = l.Snapshot()
+	}
+	r.mu.Unlock()
+	for name, s := range snaps {
+		lines = append(lines,
+			fmt.Sprintf("%s_count %d", name, s.Count),
+			fmt.Sprintf("%s_mean_seconds %.6f", name, s.Mean.Seconds()),
+			fmt.Sprintf("%s_p50_seconds %.6f", name, s.P50.Seconds()),
+			fmt.Sprintf("%s_p99_seconds %.6f", name, s.P99.Seconds()),
+			fmt.Sprintf("%s_max_seconds %.6f", name, s.Max.Seconds()),
+		)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("requests_total") != c {
+		t.Error("Counter not idempotent per name")
+	}
+	g := r.Gauge("inflight")
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Errorf("gauge = %d, want 2", g.Value())
+	}
+}
+
+func TestLatencySnapshot(t *testing.T) {
+	var l Latency
+	for _, d := range []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 100 * time.Millisecond,
+	} {
+		l.Observe(d)
+	}
+	s := l.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("max = %v", s.Max)
+	}
+	if s.Mean != 23*time.Millisecond {
+		t.Errorf("mean = %v, want 23ms", s.Mean)
+	}
+	// The log₂ histogram reports the upper bucket edge, so the median
+	// estimate must bracket the true 4 ms within one bucket (2×).
+	if s.P50 < 4*time.Millisecond || s.P50 > 8*time.Millisecond {
+		t.Errorf("p50 = %v, want within [4ms, 8ms]", s.P50)
+	}
+	if s.P99 < 100*time.Millisecond {
+		t.Errorf("p99 = %v, want >= max bucket edge of the 100ms sample", s.P99)
+	}
+	// Negative and sub-microsecond observations land in bucket 0.
+	var tiny Latency
+	tiny.Observe(-time.Second)
+	tiny.Observe(200 * time.Nanosecond)
+	if got := tiny.Snapshot(); got.Count != 2 || got.Max != 200*time.Nanosecond {
+		t.Errorf("tiny snapshot = %+v", got)
+	}
+}
+
+func TestRegistryRenderSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Inc()
+	r.Gauge("cache_bytes").Set(1024)
+	r.Latency("latency_eval").Observe(3 * time.Millisecond)
+	out := r.Render()
+	for _, want := range []string{
+		"a_total 1", "b_total 2", "cache_bytes 1024",
+		"latency_eval_count 1", "latency_eval_p99_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if ai, bi := strings.Index(out, "a_total"), strings.Index(out, "b_total"); ai > bi {
+		t.Error("render not sorted")
+	}
+	if out != r.Render() {
+		t.Error("render not stable across calls")
+	}
+}
+
+// TestRegistryConcurrentUse exercises get-or-create and observation
+// under the race detector.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter("hits_total").Inc()
+				r.Gauge("level").Add(1)
+				r.Latency("lat").Observe(time.Duration(i) * time.Microsecond)
+				_ = r.Render()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total").Value(); got != 1600 {
+		t.Errorf("hits = %d, want 1600", got)
+	}
+	if got := r.Latency("lat").Snapshot().Count; got != 1600 {
+		t.Errorf("observations = %d, want 1600", got)
+	}
+}

@@ -126,6 +126,76 @@ func runTask(ctx context.Context, i int, fn func(context.Context, int) error) (e
 	return fn(ctx, i)
 }
 
+// Budget is a global worker budget shared by independent callers of the
+// pool: a counting semaphore over worker tokens. A long-lived service
+// that fans out one RunParallel per request uses a Budget so that N
+// concurrent requests share one machine-wide worker count instead of
+// oversubscribing N×GOMAXPROCS goroutines.
+//
+// Acquire hands out between 1 and the requested number of tokens, so a
+// caller always makes progress even under full load; because the
+// pipeline's outputs are worker-count invariant (see the package
+// comment), a smaller grant changes latency, never bytes.
+type Budget struct {
+	capacity int
+	tokens   chan struct{}
+}
+
+// NewBudget returns a budget of n worker tokens. n follows Workers
+// semantics: values below 1 mean one token per available CPU.
+func NewBudget(n int) *Budget {
+	n = Workers(n)
+	b := &Budget{capacity: n, tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		b.tokens <- struct{}{}
+	}
+	return b
+}
+
+// Cap returns the budget's total token count.
+func (b *Budget) Cap() int { return b.capacity }
+
+// InUse returns the number of tokens currently held by callers.
+func (b *Budget) InUse() int { return b.capacity - len(b.tokens) }
+
+// Acquire blocks until at least one worker token is free (or ctx is
+// done), then greedily claims up to want tokens without further
+// blocking. want < 1 or want > Cap() requests the full budget. It
+// returns the number of tokens granted (>= 1) and a release function
+// that must be called exactly once when the work is finished; calling
+// it more than once is a no-op.
+func (b *Budget) Acquire(ctx context.Context, want int) (int, func(), error) {
+	if want < 1 || want > b.capacity {
+		want = b.capacity
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
+	case <-b.tokens:
+	}
+	granted := 1
+	for granted < want {
+		select {
+		case <-b.tokens:
+			granted++
+		default:
+			want = granted // budget exhausted; take what we have
+		}
+	}
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			for i := 0; i < granted; i++ {
+				b.tokens <- struct{}{}
+			}
+		})
+	}
+	return granted, release, nil
+}
+
 // Map runs fn for every index in [0, n) under ForEach's scheduling
 // rules and collects the results in index order, so the output slice is
 // independent of worker count and interleaving. On error the partial

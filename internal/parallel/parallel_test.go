@@ -265,3 +265,87 @@ func TestMapDiscardsPartialResultsOnError(t *testing.T) {
 		t.Errorf("partial results returned: %v", out[:5])
 	}
 }
+
+func TestBudgetGreedyAcquire(t *testing.T) {
+	b := NewBudget(8)
+	if b.Cap() != 8 || b.InUse() != 0 {
+		t.Fatalf("fresh budget: cap %d, in use %d", b.Cap(), b.InUse())
+	}
+	got, release, err := b.Acquire(context.Background(), 5)
+	if err != nil || got != 5 {
+		t.Fatalf("Acquire(5) = %d, %v", got, err)
+	}
+	if b.InUse() != 5 {
+		t.Errorf("in use = %d, want 5", b.InUse())
+	}
+	// Only 3 tokens remain; a request for 6 gets them all.
+	got2, release2, err := b.Acquire(context.Background(), 6)
+	if err != nil || got2 != 3 {
+		t.Fatalf("Acquire(6) under load = %d, %v, want 3", got2, err)
+	}
+	release()
+	release()
+	release2()
+	if b.InUse() != 0 {
+		t.Errorf("after idempotent releases: in use = %d, want 0", b.InUse())
+	}
+}
+
+func TestBudgetFullRequestAndCancellation(t *testing.T) {
+	b := NewBudget(4)
+	// want < 1 claims the whole budget.
+	got, release, err := b.Acquire(context.Background(), 0)
+	if err != nil || got != 4 {
+		t.Fatalf("Acquire(0) = %d, %v, want full budget", got, err)
+	}
+	// A second caller blocks until cancelled: no token is free.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := b.Acquire(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Acquire on empty budget: err = %v, want deadline exceeded", err)
+	}
+	release()
+	// After release the budget is whole again.
+	if got, rel, err := b.Acquire(context.Background(), 4); err != nil || got != 4 {
+		t.Errorf("post-release Acquire = %d, %v", got, err)
+	} else {
+		rel()
+	}
+}
+
+// TestBudgetConcurrentHolders hammers one budget from many goroutines
+// and checks the token invariant: grants are in [1, want] and the
+// budget refills exactly.
+func TestBudgetConcurrentHolders(t *testing.T) {
+	b := NewBudget(6)
+	var peak atomic.Int64
+	const holders = 64
+	done := make(chan struct{}, holders)
+	for g := 0; g < holders; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			got, release, err := b.Acquire(context.Background(), 3)
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			if got < 1 || got > 3 {
+				t.Errorf("granted %d, want 1..3", got)
+			}
+			if u := int64(b.InUse()); u > peak.Load() {
+				peak.Store(u)
+			}
+			time.Sleep(time.Millisecond)
+			release()
+		}()
+	}
+	for g := 0; g < holders; g++ {
+		<-done
+	}
+	if b.InUse() != 0 {
+		t.Errorf("tokens leaked: %d still in use", b.InUse())
+	}
+	if peak.Load() > 6 {
+		t.Errorf("budget oversubscribed: peak %d > 6", peak.Load())
+	}
+}

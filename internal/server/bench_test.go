@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// benchServer builds a real-engine server plus httptest front end for
+// benchmarks (no *testing.T available).
+func benchServer(b *testing.B, cfg Config) (*Server, *httptest.Server) {
+	b.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	b.Cleanup(s.Close)
+	return s, ts
+}
+
+func benchPost(b *testing.B, url, body string) {
+	b.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServerEvalCold measures the full request path with a cache
+// miss on every iteration: decode, validate, hash, model evaluation,
+// encode.
+func BenchmarkServerEvalCold(b *testing.B) {
+	_, ts := benchServer(b, Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"machine":"gtx580","precision":"double","work":1e9,"intensity":%g}`,
+			1+float64(i)*1e-6)
+		benchPost(b, ts.URL+"/v1/eval", body)
+	}
+}
+
+// BenchmarkServerEvalWarm measures the cache-hit path: identical
+// request every iteration, so after the first the model is never
+// re-evaluated.
+func BenchmarkServerEvalWarm(b *testing.B) {
+	_, ts := benchServer(b, Config{})
+	const body = `{"machine":"gtx580","precision":"double","work":1e9,"intensity":4}`
+	benchPost(b, ts.URL+"/v1/eval", body) // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL+"/v1/eval", body)
+	}
+}
+
+// BenchmarkCampaignCoalesced measures 8 concurrent identical campaign
+// requests per iteration. The per-iteration seed defeats the cache so
+// every iteration exercises coalescing around one real engine run.
+func BenchmarkCampaignCoalesced(b *testing.B) {
+	_, ts := benchServer(b, Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(
+			`{"machines":["gtx580"],"lo_intensity":0.25,"hi_intensity":16,"points":5,"reps":2,"volume_bytes":1048576,"seed":%d}`,
+			i+1)
+		var wg sync.WaitGroup
+		for c := 0; c < 8; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				benchPost(b, ts.URL+"/v1/campaign", body)
+			}()
+		}
+		wg.Wait()
+	}
+}

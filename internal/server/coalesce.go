@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// Request coalescing (singleflight): N concurrent requests with the
+// same canonical hash cost one engine execution. The first arrival
+// becomes the flight's leader and runs the work; later arrivals block
+// on the flight and share the leader's bytes. Determinism is what makes
+// sharing sound — every waiter would have produced exactly these bytes.
+
+// flight is one in-progress execution and its eventual outcome.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// flightGroup deduplicates concurrent executions by key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[uint64]*flight
+}
+
+// newFlightGroup returns an empty group.
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: map[uint64]*flight{}}
+}
+
+// do returns fn's outcome for key, executing fn at most once across all
+// concurrent callers with that key. The boolean reports whether this
+// caller led the flight (ran fn) or joined an existing one. A joining
+// caller stops waiting when its own ctx ends — the flight itself keeps
+// running for the remaining waiters, so one impatient client cannot
+// cancel work others still want.
+func (g *flightGroup) do(ctx context.Context, key uint64, fn func() ([]byte, error)) (body []byte, leader bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.body, false, f.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.body, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.body, true, f.err
+}
+
+// inFlight returns the number of distinct executions currently running.
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"math"
+
+	"repro/internal/campaign"
+	"repro/internal/stats"
+)
+
+// Request hashing. Because the engine is deterministic (fixed config →
+// byte-identical output at any worker count, see internal/campaign),
+// responses are content-addressable: a canonical 64-bit hash of the
+// request doubles as the cache key and the coalescing key. The hash
+// folds every semantically significant field — in a fixed order —
+// through stats.SplitMix64, with strings condensed by stats.HashLabel,
+// so two requests collide only if they describe the same computation.
+
+// hashVersion is folded first; bump it whenever the request semantics
+// or the folding order changes, which invalidates every cached entry.
+const hashVersion = 1
+
+// fold mixes one 64-bit label into the running hash.
+func fold(h, v uint64) uint64 { return stats.SplitMix64(h ^ v) }
+
+// foldString mixes a string label into the running hash.
+func foldString(h uint64, s string) uint64 { return fold(h, stats.HashLabel(s)) }
+
+// foldFloat mixes a float64 by bit pattern, so -0 vs 0 and every NaN
+// payload hash distinctly (such requests are rejected before hashing
+// anyway).
+func foldFloat(h uint64, f float64) uint64 { return fold(h, math.Float64bits(f)) }
+
+// foldBool mixes a bool as 0/1.
+func foldBool(h uint64, b bool) uint64 {
+	if b {
+		return fold(h, 1)
+	}
+	return fold(h, 0)
+}
+
+// hashCampaign returns the canonical key of a campaign request.
+// Machine order matters: per-machine engines are seeded by index, so
+// ["a","b"] and ["b","a"] are different computations.
+func hashCampaign(c campaign.Config) uint64 {
+	h := foldString(fold(0, hashVersion), "campaign")
+	h = fold(h, uint64(len(c.Machines)))
+	for _, m := range c.Machines {
+		h = foldString(h, m)
+	}
+	h = foldFloat(h, c.LoIntensity)
+	h = foldFloat(h, c.HiIntensity)
+	h = fold(h, uint64(c.Points))
+	h = fold(h, uint64(c.Reps))
+	h = foldFloat(h, c.VolumeBytes)
+	h = foldBool(h, c.UsePowerMon)
+	h = fold(h, uint64(c.Seed))
+	return h
+}
+
+// hashEval returns the canonical key of an eval request. The "eval"
+// domain label keeps eval and campaign keys from ever colliding.
+func hashEval(q evalRequest) uint64 {
+	h := foldString(fold(0, hashVersion), "eval")
+	h = foldString(h, q.Machine)
+	h = foldString(h, q.Precision)
+	h = foldFloat(h, q.Work)
+	h = foldFloat(h, q.Intensity)
+	return h
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// resultCache is the in-memory LRU result cache: marshalled response
+// bodies keyed by canonical request hash, bounded by entry count and
+// total body bytes, with an optional TTL. Determinism makes this safe:
+// a cached body is bit-for-bit the body a fresh engine run would
+// produce, so the TTL exists only to bound memory residency, never to
+// bound staleness.
+type resultCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ttl        time.Duration
+	now        func() time.Time
+	ll         *list.List // front = most recently used
+	index      map[uint64]*list.Element
+	bytes      int64
+	stats      cacheStats
+}
+
+// cacheStats are the cache's lifetime counters.
+type cacheStats struct {
+	hits, misses, evictions, expirations uint64
+}
+
+// cacheEntry is one cached response body.
+type cacheEntry struct {
+	key     uint64
+	body    []byte
+	expires time.Time // zero when the cache has no TTL
+}
+
+// newResultCache builds a cache holding at most maxEntries bodies and
+// maxBytes total body bytes; entries older than ttl are dropped on
+// access (ttl <= 0 disables expiry). now is injectable for tests.
+func newResultCache(maxEntries int, maxBytes int64, ttl time.Duration, now func() time.Time) *resultCache {
+	if now == nil {
+		now = time.Now
+	}
+	return &resultCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ttl:        ttl,
+		now:        now,
+		ll:         list.New(),
+		index:      map[uint64]*list.Element{},
+	}
+}
+
+// get returns the cached body for key and marks it most recently used.
+// Expired entries are removed and reported as misses.
+func (c *resultCache) get(key uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		c.stats.misses++
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.removeLocked(el)
+		c.stats.expirations++
+		c.stats.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.hits++
+	return e.body, true
+}
+
+// put stores body under key, evicting least-recently-used entries until
+// both bounds hold. A body larger than the byte bound is not cached.
+func (c *resultCache) put(key uint64, body []byte) {
+	if c.maxEntries <= 0 || int64(len(body)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		// Deterministic engine: same key means same body. Refresh
+		// recency and expiry rather than storing a duplicate.
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		e.expires = c.expiry()
+		c.ll.MoveToFront(el)
+		return
+	}
+	e := &cacheEntry{key: key, body: body, expires: c.expiry()}
+	c.index[key] = c.ll.PushFront(e)
+	c.bytes += int64(len(body))
+	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest)
+		c.stats.evictions++
+	}
+}
+
+// expiry returns the deadline for an entry stored now.
+func (c *resultCache) expiry() time.Time {
+	if c.ttl <= 0 {
+		return time.Time{}
+	}
+	return c.now().Add(c.ttl)
+}
+
+// removeLocked unlinks one entry. Callers hold c.mu.
+func (c *resultCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.index, e.key)
+	c.bytes -= int64(len(e.body))
+}
+
+// len returns the number of live entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// sizeBytes returns the total cached body bytes.
+func (c *resultCache) sizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// snapshot returns the lifetime counters.
+func (c *resultCache) snapshot() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// now returns the current fake time.
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// advance moves the fake clock forward.
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	c := newResultCache(3, 1<<20, 0, nil)
+	c.put(1, []byte("one"))
+	c.put(2, []byte("two"))
+	c.put(3, []byte("three"))
+	// Touch 1 so it is most recently used; inserting 4 must evict 2.
+	if _, ok := c.get(1); !ok {
+		t.Fatal("entry 1 missing")
+	}
+	c.put(4, []byte("four"))
+	if _, ok := c.get(2); ok {
+		t.Error("LRU entry 2 survived eviction")
+	}
+	for _, k := range []uint64{1, 3, 4} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("entry %d evicted unexpectedly", k)
+		}
+	}
+	if c.len() != 3 {
+		t.Errorf("len = %d, want 3", c.len())
+	}
+	if s := c.snapshot(); s.evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.evictions)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := newResultCache(100, 10, 0, nil)
+	c.put(1, []byte("aaaa")) // 4 bytes
+	c.put(2, []byte("bbbb")) // 8 total
+	c.put(3, []byte("cccc")) // 12 total -> evict key 1
+	if _, ok := c.get(1); ok {
+		t.Error("byte bound not enforced")
+	}
+	if c.sizeBytes() != 8 {
+		t.Errorf("bytes = %d, want 8", c.sizeBytes())
+	}
+	// A body larger than the whole bound is not cached at all.
+	c.put(4, []byte("0123456789ab"))
+	if _, ok := c.get(4); ok {
+		t.Error("oversized body was cached")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := newResultCache(10, 1<<20, time.Minute, clk.now)
+	c.put(1, []byte("body"))
+	if _, ok := c.get(1); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	clk.advance(59 * time.Second)
+	if _, ok := c.get(1); !ok {
+		t.Error("entry expired before its TTL")
+	}
+	clk.advance(2 * time.Second) // 61s > 60s TTL
+	if _, ok := c.get(1); ok {
+		t.Error("entry survived past its TTL")
+	}
+	s := c.snapshot()
+	if s.expirations != 1 {
+		t.Errorf("expirations = %d, want 1", s.expirations)
+	}
+	if c.len() != 0 || c.sizeBytes() != 0 {
+		t.Errorf("expired entry not removed: len %d, bytes %d", c.len(), c.sizeBytes())
+	}
+	// Re-putting the same key refreshes the expiry.
+	c.put(1, []byte("body"))
+	clk.advance(30 * time.Second)
+	c.put(1, []byte("body"))
+	clk.advance(45 * time.Second) // 75s after first put, 45s after refresh
+	if _, ok := c.get(1); !ok {
+		t.Error("refreshed entry expired on the stale deadline")
+	}
+}
+
+func TestCacheStatsAndDuplicatePut(t *testing.T) {
+	c := newResultCache(10, 1<<20, 0, nil)
+	if _, ok := c.get(7); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.put(7, []byte("abc"))
+	c.put(7, []byte("abcdef")) // same key: replace, not duplicate
+	if c.len() != 1 {
+		t.Errorf("duplicate put created %d entries", c.len())
+	}
+	if c.sizeBytes() != 6 {
+		t.Errorf("bytes = %d, want 6 after replacement", c.sizeBytes())
+	}
+	body, ok := c.get(7)
+	if !ok || string(body) != "abcdef" {
+		t.Errorf("got %q", body)
+	}
+	s := c.snapshot()
+	if s.hits != 1 || s.misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+}
+
+// TestCacheConcurrentAccess exercises the cache under the race
+// detector.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := newResultCache(16, 1<<20, time.Hour, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := uint64(i % 32)
+				c.put(k, []byte{byte(k)})
+				if body, ok := c.get(k); ok && body[0] != byte(k) {
+					t.Errorf("corrupt body for key %d", k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > 16 {
+		t.Errorf("entry bound violated: %d", c.len())
+	}
+}

@@ -1,0 +1,524 @@
+// Package server implements rooflined, a long-lived HTTP/JSON service
+// over the energy-roofline model and the measurement-campaign engine.
+// It turns the one-shot CLIs into the form the model is actually
+// consumed in — repeated what-if queries over fixed machine
+// coefficients — and exploits the engine's determinism (fixed config →
+// byte-identical output at any worker count, see internal/campaign) in
+// two ways:
+//
+//   - Responses are content-addressable. A canonical request hash
+//     (stats.SplitMix64 folding) keys an in-memory LRU cache with TTL
+//     and size bounds; a cache hit serves the exact bytes a fresh
+//     engine run would produce.
+//   - Concurrent identical requests coalesce. A singleflight group
+//     runs one engine execution per distinct in-flight hash and shares
+//     the bytes with every waiter.
+//
+// Engine executions draw workers from one global parallel.Budget shared
+// across requests, so the machine is never oversubscribed: identical
+// concurrent campaigns share one execution, and distinct ones queue for
+// the budget. Request/latency/cache counters are exposed on
+// GET /metrics through internal/metrics.
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness probe
+//	GET  /v1/machines  the platform catalog with derived balance points
+//	POST /v1/eval      single roofline/energy model query
+//	POST /v1/campaign  full tune→sweep→fit campaign (cached, coalesced)
+//	GET  /metrics      plain-text operational counters
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+// Config tunes one Server. The zero value of any field falls back to
+// the DefaultConfig value for that field.
+type Config struct {
+	// Workers is the global engine worker budget shared across all
+	// concurrent campaign requests (parallel.Workers semantics: < 1
+	// means one worker per CPU).
+	Workers int
+	// CacheEntries bounds the result cache by entry count.
+	CacheEntries int
+	// CacheBytes bounds the result cache by total body bytes.
+	CacheBytes int64
+	// CacheTTL bounds how long a cached body stays resident. The cache
+	// is never stale — the engine is deterministic — so the TTL only
+	// bounds memory residency. <= 0 keeps the default.
+	CacheTTL time.Duration
+	// RequestTimeout bounds one engine execution; the run is cancelled
+	// between kernel executions when it expires.
+	RequestTimeout time.Duration
+	// MaxPoints caps a campaign request's intensity grid, rejecting
+	// oversized requests up front (service-level, stricter than the
+	// campaign.Validate allocation guard).
+	MaxPoints int
+	// MaxReps caps a campaign request's repetitions per point.
+	MaxReps int
+	// MaxBodyBytes caps a request body.
+	MaxBodyBytes int64
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		Workers:        0, // one per CPU
+		CacheEntries:   256,
+		CacheBytes:     64 << 20,
+		CacheTTL:       15 * time.Minute,
+		RequestTimeout: 2 * time.Minute,
+		MaxPoints:      4096,
+		MaxReps:        4096,
+		MaxBodyBytes:   1 << 20,
+	}
+}
+
+// engineFunc is the campaign engine the server drives; tests substitute
+// a counting stub to assert coalescing and cache behaviour.
+type engineFunc func(ctx context.Context, cfg campaign.Config, workers int) (*campaign.Result, error)
+
+// Server is the rooflined service state. Create with New; it is safe
+// for concurrent use by the HTTP stack.
+type Server struct {
+	cfg     Config
+	budget  *parallel.Budget
+	cache   *resultCache
+	flights *flightGroup
+	reg     *metrics.Registry
+	engine  engineFunc
+	mux     *http.ServeMux
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+}
+
+// New builds a Server from cfg (zero fields take defaults).
+func New(cfg Config) *Server {
+	def := DefaultConfig()
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = def.CacheEntries
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = def.CacheBytes
+	}
+	if cfg.CacheTTL == 0 {
+		cfg.CacheTTL = def.CacheTTL
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = def.RequestTimeout
+	}
+	if cfg.MaxPoints == 0 {
+		cfg.MaxPoints = def.MaxPoints
+	}
+	if cfg.MaxReps == 0 {
+		cfg.MaxReps = def.MaxReps
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = def.MaxBodyBytes
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		budget:  parallel.NewBudget(cfg.Workers),
+		cache:   newResultCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheTTL, nil),
+		flights: newFlightGroup(),
+		reg:     metrics.NewRegistry(),
+		engine:  campaign.RunParallel,
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	mux.HandleFunc("POST /v1/eval", s.handleEval)
+	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close aborts in-flight engine executions. Graceful shutdown first
+// drains the HTTP server (handlers block until their campaigns finish),
+// then calls Close to release anything still running.
+func (s *Server) Close() { s.cancel() }
+
+// Metrics returns the server's telemetry registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// httpError is a handler failure with a status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+// Error implements the error interface.
+func (e *httpError) Error() string { return e.msg }
+
+// badRequest builds a 400 error.
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeJSON marshals v with a trailing newline.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeError reports err as a JSON error body, mapping *httpError
+// status through and defaulting anything else to 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusGatewayTimeout
+	}
+	s.reg.Counter("http_errors_total").Inc()
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeCached serves a response body produced by the cache/coalescing
+// layer, labelling its provenance in X-Cache (hit, miss, or coalesced).
+func writeCached(w http.ResponseWriter, key uint64, source string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", source)
+	w.Header().Set("X-Request-Hash", fmt.Sprintf("%016x", key))
+	w.Write(body)
+}
+
+// handleHealth implements GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("requests_healthz_total").Inc()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// machineSummary is one GET /v1/machines catalog row.
+type machineSummary struct {
+	Key             string  `json:"key"`
+	Name            string  `json:"name"`
+	Bandwidth       float64 `json:"bandwidth_bytes_per_s"`
+	PeakFlopsSingle float64 `json:"peak_flops_single"`
+	PeakFlopsDouble float64 `json:"peak_flops_double"`
+	BalanceTime     float64 `json:"balance_time_double"`
+	BalanceEnergy   float64 `json:"balance_energy_double"`
+	HalfEfficiency  float64 `json:"half_efficiency_intensity_double"`
+	RaceToHalt      bool    `json:"race_to_halt_effective_double"`
+}
+
+// handleMachines implements GET /v1/machines: the catalog with derived
+// double-precision balance points, sorted by key for stable output.
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("requests_machines_total").Inc()
+	catalog := machine.Catalog()
+	keys := make([]string, 0, len(catalog))
+	for k := range catalog {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]machineSummary, 0, len(keys))
+	for _, k := range keys {
+		m := catalog[k]
+		p := core.FromMachine(m, machine.Double)
+		out = append(out, machineSummary{
+			Key:             k,
+			Name:            m.Name,
+			Bandwidth:       m.Bandwidth,
+			PeakFlopsSingle: m.SP.PeakFlops,
+			PeakFlopsDouble: m.DP.PeakFlops,
+			BalanceTime:     p.BalanceTime(),
+			BalanceEnergy:   p.BalanceEnergy(),
+			HalfEfficiency:  p.HalfEfficiencyIntensity(),
+			RaceToHalt:      p.RaceToHaltEffective(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"machines": out})
+}
+
+// evalRequest is the POST /v1/eval body: one (machine, precision,
+// kernel) model query.
+type evalRequest struct {
+	Machine   string  `json:"machine"`
+	Precision string  `json:"precision"`
+	Work      float64 `json:"work,omitempty"`
+	Intensity float64 `json:"intensity"`
+}
+
+// evalResponse is the POST /v1/eval reply: the model's time, energy,
+// and power answers plus the §VI composite metrics.
+type evalResponse struct {
+	Machine        string  `json:"machine"`
+	Precision      string  `json:"precision"`
+	Work           float64 `json:"work"`
+	Intensity      float64 `json:"intensity"`
+	Time           float64 `json:"time_seconds"`
+	Energy         float64 `json:"energy_joules"`
+	AvgPower       float64 `json:"avg_power_watts"`
+	CappedTime     float64 `json:"capped_time_seconds"`
+	CappedEnergy   float64 `json:"capped_energy_joules"`
+	CappedPower    float64 `json:"capped_power_watts"`
+	TimeBound      string  `json:"time_bound"`
+	EnergyBound    string  `json:"energy_bound"`
+	BalanceTime    float64 `json:"balance_time"`
+	BalanceEnergy  float64 `json:"balance_energy"`
+	HalfEfficiency float64 `json:"half_efficiency_intensity"`
+	RooflineTime   float64 `json:"roofline_time"`
+	ArchlineEnergy float64 `json:"archline_energy"`
+	PowerLine      float64 `json:"power_line_watts"`
+	RaceToHalt     bool    `json:"race_to_halt_effective"`
+	EDP            float64 `json:"edp_joule_seconds"`
+	FlopsPerJoule  float64 `json:"flops_per_joule"`
+	FlopsPerSecond float64 `json:"flops_per_second"`
+	GreenIndex     float64 `json:"green_index"`
+	SpeedIndex     float64 `json:"speed_index"`
+}
+
+// parsePrecision maps the wire precision names.
+func parsePrecision(s string) (machine.Precision, error) {
+	switch s {
+	case "single":
+		return machine.Single, nil
+	case "double", "":
+		return machine.Double, nil
+	}
+	return 0, badRequest("unknown precision %q (want \"single\" or \"double\")", s)
+}
+
+// checkEval validates an eval request, filling defaults in place.
+func checkEval(q *evalRequest) error {
+	if _, ok := machine.Catalog()[q.Machine]; !ok {
+		return badRequest("unknown machine %q", q.Machine)
+	}
+	if _, err := parsePrecision(q.Precision); err != nil {
+		return err
+	}
+	if q.Work == 0 {
+		q.Work = 1e9
+	}
+	for name, v := range map[string]float64{"work": q.Work, "intensity": q.Intensity} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return badRequest("%s must be finite", name)
+		}
+		if v <= 0 {
+			return badRequest("%s must be positive", name)
+		}
+	}
+	return nil
+}
+
+// evaluate computes the eval response body.
+func evaluate(q evalRequest) ([]byte, error) {
+	prec, err := parsePrecision(q.Precision)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.Catalog()[q.Machine]
+	p := core.FromMachine(m, prec)
+	k := core.KernelAt(q.Work, q.Intensity)
+	score, err := metrics.Evaluate(p, k)
+	if err != nil {
+		return nil, badRequest("eval: %v", err)
+	}
+	resp := evalResponse{
+		Machine:        q.Machine,
+		Precision:      prec.String(),
+		Work:           q.Work,
+		Intensity:      q.Intensity,
+		Time:           score.Time,
+		Energy:         score.Energy,
+		AvgPower:       p.AveragePower(k),
+		CappedTime:     p.CappedTime(k),
+		CappedEnergy:   p.CappedEnergy(k),
+		CappedPower:    p.CappedPower(k),
+		TimeBound:      p.TimeBound(k).String(),
+		EnergyBound:    p.EnergyBound(k).String(),
+		BalanceTime:    p.BalanceTime(),
+		BalanceEnergy:  p.BalanceEnergy(),
+		HalfEfficiency: p.HalfEfficiencyIntensity(),
+		RooflineTime:   p.RooflineTime(q.Intensity),
+		ArchlineEnergy: p.ArchlineEnergy(q.Intensity),
+		PowerLine:      p.PowerLine(q.Intensity),
+		RaceToHalt:     p.RaceToHaltEffective(),
+		EDP:            score.EDP,
+		FlopsPerJoule:  score.FlopsPerJoule,
+		FlopsPerSecond: score.FlopsPerSecond,
+		GreenIndex:     score.GreenIndex,
+		SpeedIndex:     score.SpeedIndex,
+	}
+	data, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// handleEval implements POST /v1/eval. Eval queries are cheap (pure
+// closed-form model evaluation), so they are cached by canonical hash
+// but not coalesced.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("requests_eval_total").Inc()
+	start := time.Now()
+	defer func() { s.reg.Latency("latency_eval").Observe(time.Since(start)) }()
+
+	var q evalRequest
+	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &q); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := checkEval(&q); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	key := hashEval(q)
+	if body, ok := s.cache.get(key); ok {
+		s.reg.Counter("cache_hits_total").Inc()
+		writeCached(w, key, "hit", body)
+		return
+	}
+	s.reg.Counter("cache_misses_total").Inc()
+	body, err := evaluate(q)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.reg.Counter("eval_computes_total").Inc()
+	s.cache.put(key, body)
+	writeCached(w, key, "miss", body)
+}
+
+// checkCampaign validates a campaign request against the engine's own
+// rules (campaign.Validate: unknown machines, NaN/Inf fields, inverted
+// ranges, allocation-scale grids) and the service-level cost caps.
+func (s *Server) checkCampaign(cfg campaign.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return badRequest("%v", err)
+	}
+	if cfg.Points > s.cfg.MaxPoints {
+		return badRequest("campaign: %d grid points exceed this server's limit of %d", cfg.Points, s.cfg.MaxPoints)
+	}
+	if cfg.Reps > s.cfg.MaxReps {
+		return badRequest("campaign: %d reps exceed this server's limit of %d", cfg.Reps, s.cfg.MaxReps)
+	}
+	return nil
+}
+
+// handleCampaign implements POST /v1/campaign: cache lookup by
+// canonical hash, then singleflight execution on a budget-bounded
+// worker pool. The response body is the campaign Result JSON —
+// byte-identical whether it came from the engine, the cache, or a
+// coalesced flight.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("requests_campaign_total").Inc()
+	start := time.Now()
+	defer func() { s.reg.Latency("latency_campaign").Observe(time.Since(start)) }()
+
+	var cfg campaign.Config
+	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &cfg); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.checkCampaign(cfg); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	key := hashCampaign(cfg)
+	if body, ok := s.cache.get(key); ok {
+		s.reg.Counter("cache_hits_total").Inc()
+		writeCached(w, key, "hit", body)
+		return
+	}
+	s.reg.Counter("cache_misses_total").Inc()
+
+	// The flight leader runs the engine under the server's base context
+	// (plus the request timeout), not the leader's request context: the
+	// execution is shared, so one client disconnecting must not cancel
+	// the run for its co-waiters. Waiters stop waiting — without
+	// cancelling the flight — when their own request context ends.
+	body, leader, err := s.flights.do(r.Context(), key, func() ([]byte, error) {
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+		defer cancel()
+		granted, release, err := s.budget.Acquire(ctx, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		s.reg.Counter("engine_runs_total").Inc()
+		res, err := s.engine(ctx, cfg, granted)
+		if err != nil {
+			return nil, err
+		}
+		data, err := res.ToJSON()
+		if err != nil {
+			return nil, err
+		}
+		data = append(data, '\n')
+		s.cache.put(key, data)
+		return data, nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	source := "miss"
+	if !leader {
+		source = "coalesced"
+		s.reg.Counter("coalesced_total").Inc()
+	}
+	writeCached(w, key, source, body)
+}
+
+// handleMetrics implements GET /metrics. Cache and budget levels are
+// copied into gauges at scrape time so the page reflects the instant it
+// was rendered.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("requests_metrics_total").Inc()
+	cs := s.cache.snapshot()
+	s.reg.Gauge("cache_entries").Set(int64(s.cache.len()))
+	s.reg.Gauge("cache_bytes").Set(s.cache.sizeBytes())
+	s.reg.Gauge("cache_evictions").Set(int64(cs.evictions))
+	s.reg.Gauge("cache_expirations").Set(int64(cs.expirations))
+	s.reg.Gauge("workers_budget").Set(int64(s.budget.Cap()))
+	s.reg.Gauge("workers_in_use").Set(int64(s.budget.InUse()))
+	s.reg.Gauge("flights_in_flight").Set(int64(s.flights.inFlight()))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.reg.Render())
+}
+
+// decodeBody strictly decodes one JSON value from the request body,
+// rejecting unknown fields, trailing garbage, and bodies over maxBytes.
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("bad request body: trailing data after JSON value")
+	}
+	return nil
+}

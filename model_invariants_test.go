@@ -2,6 +2,7 @@ package energyroofline
 
 import (
 	"math"
+	"math/rand"
 	"os"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/machine"
+	"repro/internal/stats"
 )
 
 // Cross-catalog invariants: every machine in the catalog, at both
@@ -124,4 +126,115 @@ func TestDesignDocumentsEveryExperiment(t *testing.T) {
 // package directory for root-level tests).
 func readRepoFile(name string) ([]byte, error) {
 	return os.ReadFile(name)
+}
+
+// randomParams draws a physically plausible parameter set spanning
+// several orders of magnitude around the catalog's regime: CPU-to-GPU
+// throughputs, pJ-scale energies, and constant power from 0 to
+// hundreds of Watts.
+func randomParams(rng *rand.Rand) core.Params {
+	logUniform := func(lo, hi float64) float64 {
+		return lo * math.Exp(rng.Float64()*math.Log(hi/lo))
+	}
+	return core.Params{
+		TauFlop: logUniform(1e-13, 1e-9), // 1 GFLOP/s … 10 TFLOP/s
+		TauMem:  logUniform(1e-12, 1e-9), // 1 GB/s … 1 TB/s
+		EpsFlop: logUniform(1e-12, 1e-9), // 1 pJ … 1 nJ per flop
+		EpsMem:  logUniform(1e-11, 1e-8), // 10 pJ … 10 nJ per byte
+		Pi0:     rng.Float64() * 300,     // 0 … 300 W
+	}
+}
+
+// TestModelPropertiesRandomized checks the model's order-theoretic and
+// identity properties on a few hundred random machines rather than the
+// four catalog entries. Seeds derive from stats.DeriveSeed so failures
+// reproduce exactly.
+func TestModelPropertiesRandomized(t *testing.T) {
+	const trials = 300
+	relTol := func(a, b float64) float64 {
+		d := math.Abs(a - b)
+		den := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+		return d / den
+	}
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(stats.DeriveSeed(42, uint64(i))))
+		p := randomParams(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid params: %v", i, err)
+		}
+
+		// Monotonicity in the energy coefficients: raising ε_mem makes
+		// energy balance harder (Bε and B̂ε move right); raising ε_flop
+		// makes it easier (both move left). B̂ε is the fixed point of
+		// B̂ε(I) = η·Bε + (1−η)·max(0, Bτ−I), which decreases pointwise
+		// in ε_flop and increases pointwise in ε_mem.
+		up := p
+		up.EpsMem *= 1 + rng.Float64()
+		if up.BalanceEnergy() < p.BalanceEnergy() {
+			t.Errorf("trial %d: Bε not monotone increasing in εmem", i)
+		}
+		if up.HalfEfficiencyIntensity() < p.HalfEfficiencyIntensity()*(1-1e-12) {
+			t.Errorf("trial %d: B̂ε not monotone increasing in εmem", i)
+		}
+		down := p
+		down.EpsFlop *= 1 + rng.Float64()
+		if down.BalanceEnergy() > p.BalanceEnergy() {
+			t.Errorf("trial %d: Bε not monotone decreasing in εflop", i)
+		}
+		if down.HalfEfficiencyIntensity() > p.HalfEfficiencyIntensity()*(1+1e-12) {
+			t.Errorf("trial %d: B̂ε not monotone decreasing in εflop", i)
+		}
+
+		// Energy is non-increasing in intensity at fixed work: more
+		// flops per byte means less traffic and no more time.
+		w := 1e6 * math.Exp(rng.Float64()*math.Log(1e6)) // 1e6 … 1e12 flops
+		lastE := math.Inf(1)
+		for _, scale := range []float64{0.125, 0.5, 1, 2, 8, 64} {
+			k := core.KernelAt(w, p.BalanceTime()*scale)
+			e := p.Energy(k)
+			if e > lastE*(1+1e-12) {
+				t.Errorf("trial %d: energy increased with intensity at %v·Bτ", i, scale)
+			}
+			lastE = e
+
+			// Eq. (4) and the refactored eq. (5) are the same number.
+			if relTol(e, p.EnergyEq5(k)) > 1e-9 {
+				t.Errorf("trial %d: Energy %g != EnergyEq5 %g", i, e, p.EnergyEq5(k))
+			}
+			// Average power never exceeds the power line's peak.
+			if p.AveragePower(k) > p.MaxPower()*(1+1e-12) {
+				t.Errorf("trial %d: average power above max power", i)
+			}
+		}
+
+		// At the time-balance point the two pipelines take equal time
+		// and the roofline sits exactly at its knee.
+		kb := core.KernelAt(w, p.BalanceTime())
+		if relTol(p.TimeFlops(kb), p.TimeMem(kb)) > 1e-12 {
+			t.Errorf("trial %d: TimeFlops != TimeMem at Bτ", i)
+		}
+		if p.RooflineTime(p.BalanceTime()) != 1 {
+			t.Errorf("trial %d: roofline knee != 1 at Bτ", i)
+		}
+
+		// The power line is bounded by the sum of the full compute and
+		// full memory power demands plus the constant draw.
+		bound := p.Pi0 + p.PiFlop() + p.EpsMem/p.TauMem
+		for _, scale := range []float64{0.1, 0.5, 1, 2, 10} {
+			if pl := p.PowerLine(p.BalanceTime() * scale); pl > bound*(1+1e-12) {
+				t.Errorf("trial %d: PowerLine(%v·Bτ) = %g exceeds π0+πflop+πmem = %g", i, scale, pl, bound)
+			}
+		}
+
+		// The arch line is non-decreasing in intensity and respects its
+		// asymptotes.
+		prev := 0.0
+		for _, scale := range []float64{0.01, 0.1, 1, 10, 100} {
+			y := p.ArchlineEnergy(p.BalanceTime() * scale)
+			if y < prev-1e-12 || y < 0 || y > 1 {
+				t.Errorf("trial %d: arch line not monotone in [0,1]", i)
+			}
+			prev = y
+		}
+	}
 }
