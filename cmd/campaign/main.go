@@ -9,9 +9,15 @@
 // byte-identical at any worker count; -workers=1 reproduces the
 // sequential run exactly.
 //
+// With -trace, the run records spans for every phase — per-machine
+// tune/sweep/fit, per-rep kernel executions, worker-pool queue waits —
+// and writes them as Chrome trace_event JSON (open in chrome://tracing
+// or https://ui.perfetto.dev). Tracing reads only the clock, so traced
+// runs produce byte-identical campaign output.
+//
 // Usage:
 //
-//	campaign [-config file.json] [-out dir] [-powermon] [-seed N] [-reps N] [-workers N]
+//	campaign [-config file.json] [-out dir] [-powermon] [-seed N] [-reps N] [-workers N] [-trace out.json]
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -33,6 +40,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "noise seed")
 		reps       = flag.Int("reps", 0, "override repetitions per point")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = one per CPU; any value produces identical output)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON span timeline to this file")
 	)
 	flag.Parse()
 
@@ -55,12 +63,39 @@ func main() {
 		cfg.Reps = *reps
 	}
 
-	res, err := campaign.RunParallel(context.Background(), cfg, *workers)
+	ctx := context.Background()
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.Config{})
+		ctx = trace.WithTracer(ctx, tracer)
+	}
+
+	res, err := campaign.RunParallel(ctx, cfg, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
 		os.Exit(1)
 	}
 	fmt.Print(res.Render())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(1)
+		}
+		// Trace confirmation goes to stderr so stdout stays
+		// byte-identical with an untraced run.
+		fmt.Fprintf(os.Stderr, "campaign: wrote %d spans (%d dropped) to %s\n",
+			tracer.Len(), tracer.Dropped(), *traceOut)
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {

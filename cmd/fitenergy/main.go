@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -84,7 +85,7 @@ func main() {
 		if prec == machine.Double {
 			hi = 16
 		}
-		p, err := microbench.Sweep(eng, prec, microbench.SweepConfig{
+		p, err := microbench.Sweep(context.Background(), eng, prec, microbench.SweepConfig{
 			Intensities: core.LogGrid(0.25, hi, *points),
 			VolumeBytes: 1 << 28,
 			Reps:        *reps,

@@ -4,15 +4,17 @@
 //
 // Usage:
 //
-//	fmmu [-n N] [-leaf q] [-seed N] [-top K] [-cacheonly]
+//	fmmu [-n N] [-leaf q] [-seed N] [-top K] [-cacheonly] [-trace out.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/fmm"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -22,6 +24,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "point and noise seed")
 		top       = flag.Int("top", 10, "worst-estimated variants to list")
 		cacheOnly = flag.Bool("cacheonly", false, "restrict the population to L1/L2-only variants")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON span timeline to this file")
 	)
 	flag.Parse()
 
@@ -35,7 +38,13 @@ func main() {
 		}
 		variants = filtered
 	}
-	res, err := fmm.RunStudy(fmm.StudyConfig{
+	ctx := context.Background()
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.Config{})
+		ctx = trace.WithTracer(ctx, tracer)
+	}
+	res, err := fmm.RunStudyCtx(ctx, fmm.StudyConfig{
 		N:        *n,
 		LeafSize: *leaf,
 		Seed:     *seed,
@@ -44,6 +53,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fmmu:", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fmmu:", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fmmu:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fmmu:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fmmu: wrote %d spans (%d dropped) to %s\n",
+			tracer.Len(), tracer.Dropped(), *traceOut)
 	}
 
 	fmt.Printf("FMM U-list study on %s\n", res.MachineName)

@@ -13,6 +13,14 @@
 //
 //	rooflined [-addr :8080] [-workers N] [-cache-entries N]
 //	          [-cache-bytes N] [-cache-ttl D] [-timeout D] [-drain D]
+//	          [-debug] [-trace out.json]
+//
+// -debug turns on the observability surface: per-request span tracing,
+// GET /debug/trace (Chrome trace_event JSON of the span ring buffer),
+// the net/http/pprof handlers under /debug/pprof/, and span_* latency
+// histograms on GET /metrics. -trace implies -debug and additionally
+// dumps the span buffer to a file at shutdown. See
+// docs/OBSERVABILITY.md.
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains
 // in-flight campaigns for up to -drain, then exits 0.
@@ -42,6 +50,8 @@ func main() {
 		cacheTTL     = flag.Duration("cache-ttl", 0, "result cache residency bound (0 = default)")
 		timeout      = flag.Duration("timeout", 0, "per-request engine execution timeout (0 = default)")
 		drain        = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+		debug        = flag.Bool("debug", false, "enable /debug/trace, /debug/pprof/, and span tracing")
+		traceOut     = flag.String("trace", "", "write the span buffer as Chrome trace JSON to this file at shutdown (implies -debug)")
 	)
 	flag.Parse()
 
@@ -51,6 +61,7 @@ func main() {
 		CacheBytes:     *cacheBytes,
 		CacheTTL:       *cacheTTL,
 		RequestTimeout: *timeout,
+		Debug:          *debug || *traceOut != "",
 	})
 	defer srv.Close()
 
@@ -86,5 +97,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rooflined: shutdown:", err)
 	}
 	srv.Close()
+	if *traceOut != "" {
+		if err := writeTrace(srv, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "rooflined: trace:", err)
+		}
+	}
 	fmt.Println("rooflined: shutdown complete")
+}
+
+// writeTrace dumps the server's span ring buffer as Chrome trace JSON.
+func writeTrace(srv *server.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := srv.Tracer().WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	tr := srv.Tracer()
+	fmt.Printf("rooflined: wrote %d spans (%d dropped) to %s\n", tr.Len(), tr.Dropped(), path)
+	return nil
 }

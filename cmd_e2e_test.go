@@ -349,7 +349,8 @@ func TestRooflinedBinary(t *testing.T) {
 	dir := t.TempDir()
 	bin := buildCmd(t, dir, "rooflined")
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain", "10s")
+	tracePath := filepath.Join(dir, "server-trace.json")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain", "10s", "-debug", "-trace", tracePath)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -436,8 +437,20 @@ func TestRooflinedBinary(t *testing.T) {
 
 	if code, body, _ := get("/metrics"); code != 200 ||
 		!strings.Contains(body, "engine_runs_total 1") ||
-		!strings.Contains(body, "cache_hits_total 1") {
+		!strings.Contains(body, "cache_hits_total 1") ||
+		!strings.Contains(body, "span_http_campaign") {
 		t.Errorf("metrics: %d\n%s", code, body)
+	}
+
+	// -debug serves the span buffer as Chrome trace JSON and the pprof
+	// index.
+	if code, body, _ := get("/debug/trace"); code != 200 ||
+		!strings.Contains(body, "traceEvents") ||
+		!strings.Contains(body, "http.campaign") {
+		t.Errorf("debug/trace: %d\n%s", code, body)
+	}
+	if code, _, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("debug/pprof/: %d", code)
 	}
 
 	// Graceful shutdown: SIGTERM → drain messages on stdout, exit 0.
@@ -454,6 +467,12 @@ func TestRooflinedBinary(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("shutdown log missing %q:\n%s", want, out)
 		}
+	}
+	// -trace dumped the span buffer at shutdown.
+	if data, err := os.ReadFile(tracePath); err != nil {
+		t.Errorf("shutdown trace dump: %v", err)
+	} else if !strings.Contains(string(data), "traceEvents") {
+		t.Error("shutdown trace dump is not a Chrome trace")
 	}
 }
 

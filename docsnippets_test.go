@@ -1,0 +1,276 @@
+package energyroofline
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the documents whose fenced snippets and relative links
+// the doc checks verify. Paths are module-root relative.
+var docFiles = []string{
+	"README.md",
+	"docs/MODEL.md",
+	"docs/SERVER.md",
+	"docs/ARCHITECTURE.md",
+	"docs/OBSERVABILITY.md",
+}
+
+// fence is one fenced code block from a markdown file.
+type fence struct {
+	lang  string
+	text  string
+	lineN int // 1-based line of the opening ```
+}
+
+// fences extracts the fenced code blocks of a markdown file.
+func fences(t *testing.T, path string) []fence {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []fence
+	var cur *fence
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			if cur == nil {
+				cur = &fence{lang: strings.TrimPrefix(trimmed, "```"), lineN: i + 1}
+			} else {
+				out = append(out, *cur)
+				cur = nil
+			}
+			continue
+		}
+		if cur != nil {
+			cur.text += line + "\n"
+		}
+	}
+	if cur != nil {
+		t.Fatalf("%s: unclosed code fence opened at line %d", path, cur.lineN)
+	}
+	return out
+}
+
+// definedFlags scans the non-test Go sources of one directory for flag
+// definitions (flag.String, flag.IntVar, …) and returns the flag names.
+func definedFlags(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	// Two shapes: flag.String("name", …) and flag.IntVar(&v, "name", …).
+	direct := regexp.MustCompile(`flag\.(?:String|Bool|Int64|Int|Uint64|Uint|Float64|Duration)\(\s*"([^"]+)"`)
+	viaVar := regexp.MustCompile(`flag\.[A-Za-z0-9]+Var\([^,]+,\s*"([^"]+)"`)
+	flags := map[string]bool{}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range matches {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, re := range []*regexp.Regexp{direct, viaVar} {
+			for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+				flags[m[1]] = true
+			}
+		}
+	}
+	return flags
+}
+
+// shellCommands splits a shell fence into logical commands: comments
+// stripped, backslash continuations joined, trailing "# ..." comments
+// and backgrounding "&" removed.
+func shellCommands(block string) []string {
+	var cmds []string
+	var cont string
+	for _, line := range strings.Split(block, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.Index(line, "  #"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if strings.HasSuffix(line, "\\") {
+			cont += strings.TrimSuffix(line, "\\") + " "
+			continue
+		}
+		line = cont + line
+		cont = ""
+		line = strings.TrimSuffix(strings.TrimSpace(line), " &")
+		cmds = append(cmds, line)
+	}
+	return cmds
+}
+
+// TestDocCommandsExist verifies every `go run <path> [flags]` command
+// in the documentation's shell snippets: the target package directory
+// exists, and each -flag the docs pass is actually defined by that
+// binary. Documentation that names a command or flag that does not
+// ship fails here.
+func TestDocCommandsExist(t *testing.T) {
+	root := mustModuleRoot(t)
+	checked := 0
+	for _, doc := range docFiles {
+		for _, f := range fences(t, filepath.Join(root, doc)) {
+			if f.lang != "sh" && f.lang != "bash" {
+				continue
+			}
+			for _, cmd := range shellCommands(f.text) {
+				fields := strings.Fields(cmd)
+				if len(fields) < 3 || fields[0] != "go" || fields[1] != "run" {
+					continue
+				}
+				target := fields[2]
+				dir := filepath.Join(root, filepath.FromSlash(target))
+				if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+					t.Errorf("%s (fence at line %d): `%s` targets nonexistent package %s",
+						doc, f.lineN, cmd, target)
+					continue
+				}
+				flags := definedFlags(t, dir)
+				for _, tok := range fields[3:] {
+					if !strings.HasPrefix(tok, "-") || tok == "-" {
+						continue
+					}
+					name := strings.TrimLeft(tok, "-")
+					if i := strings.IndexByte(name, '='); i >= 0 {
+						name = name[:i]
+					}
+					if !flags[name] {
+						t.Errorf("%s (fence at line %d): `%s` passes -%s, which %s does not define",
+							doc, f.lineN, cmd, name, target)
+					}
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 10 {
+		t.Errorf("only %d `go run` commands found across the docs; extraction is likely broken", checked)
+	}
+}
+
+// TestDocGoSnippetsParse wraps each fenced Go snippet into a synthetic
+// file and parses it, so documented Go code cannot rot into syntax
+// errors. Snippets without a package clause get one; bare statement
+// snippets are wrapped in a function body.
+func TestDocGoSnippetsParse(t *testing.T) {
+	root := mustModuleRoot(t)
+	parsed := 0
+	for _, doc := range docFiles {
+		for _, f := range fences(t, filepath.Join(root, doc)) {
+			if f.lang != "go" {
+				continue
+			}
+			src := f.text
+			if !strings.Contains(src, "package ") {
+				// Hoist import lines; wrap the rest as a function body.
+				var imports, body []string
+				for _, line := range strings.Split(src, "\n") {
+					if strings.HasPrefix(strings.TrimSpace(line), "import ") {
+						imports = append(imports, line)
+					} else {
+						body = append(body, line)
+					}
+				}
+				src = "package snippet\n" + strings.Join(imports, "\n") +
+					"\nfunc _() {\n" + strings.Join(body, "\n") + "\n}\n"
+			}
+			fset := token.NewFileSet()
+			if _, err := parser.ParseFile(fset, doc, src, 0); err != nil {
+				t.Errorf("%s: Go snippet at line %d does not parse: %v", doc, f.lineN, err)
+			}
+			parsed++
+		}
+	}
+	if parsed == 0 {
+		t.Error("no Go snippets found across the docs; extraction is likely broken")
+	}
+}
+
+// TestMarkdownRelativeLinks resolves every relative [text](target)
+// link in the checked documents against the filesystem.
+func TestMarkdownRelativeLinks(t *testing.T) {
+	root := mustModuleRoot(t)
+	re := regexp.MustCompile(`\[[^\]]+\]\(([^)]+)\)`)
+	for _, doc := range docFiles {
+		data, err := os.ReadFile(filepath.Join(root, doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(root, filepath.Dir(doc), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: relative link %q does not resolve (%v)", doc, m[1], err)
+			}
+		}
+	}
+}
+
+// TestPackagesHaveDocComments requires a package doc comment on every
+// package with non-test sources, keeping `go doc ./internal/<pkg>`
+// useful everywhere.
+func TestPackagesHaveDocComments(t *testing.T) {
+	root := mustModuleRoot(t)
+	var missing []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); name == "figures" || name == "docs" || name == "testdata" ||
+			strings.HasPrefix(name, ".") {
+			return filepath.SkipDir
+		}
+		sources, err := filepath.Glob(filepath.Join(path, "*.go"))
+		if err != nil {
+			return err
+		}
+		documented, hasNonTest := false, false
+		for _, src := range sources {
+			if strings.HasSuffix(src, "_test.go") {
+				continue
+			}
+			hasNonTest = true
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, src, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			if f.Doc != nil {
+				documented = true
+				break
+			}
+		}
+		if hasNonTest && !documented {
+			rel, _ := filepath.Rel(root, path)
+			missing = append(missing, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("packages without a package doc comment:\n  %s", strings.Join(missing, "\n  "))
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/powermon"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -174,10 +175,24 @@ func Run(cfg Config) (*Result, error) {
 // its own noise stream from (engine seed, precision, grid index, rep) —
 // see stats.DeriveSeed — so neither scheduling nor worker count can
 // reach the artifact.
+//
+// When ctx carries a trace.Tracer (see internal/trace), the run records
+// an execution trace: a "campaign" root span, one "campaign.machine"
+// span per platform, "campaign.autotune" / "microbench.sweep" /
+// "campaign.fit" phase spans, and per-repetition "sweep.rep" spans with
+// "sim.run" children. Tracing observes only the clock; it cannot reach
+// the noise streams, so traced output stays byte-identical to untraced
+// output (pinned end to end by TestCampaignBinaryTrace).
 func RunParallel(ctx context.Context, cfg Config, workers int) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, span := trace.Start(ctx, "campaign")
+	span.Tag("machines", len(cfg.Machines)).
+		Tag("points", cfg.Points).
+		Tag("reps", cfg.Reps).
+		Tag("seed", cfg.Seed)
+	defer span.End()
 	workers = parallel.Workers(workers)
 	mrs, err := parallel.Map(ctx, len(cfg.Machines), workers,
 		func(ctx context.Context, mi int) (MachineResult, error) {
@@ -194,12 +209,17 @@ func RunParallel(ctx context.Context, cfg Config, workers int) (*Result, error) 
 // count is data-dependent, so it stays serial); the sweeps fan out.
 func runMachine(ctx context.Context, cfg Config, mi int, workers int) (MachineResult, error) {
 	key := cfg.Machines[mi]
+	ctx, span := trace.Start(ctx, "campaign.machine")
+	span.Tag("machine", key)
+	defer span.End()
 	m := machine.Catalog()[key]
 	eng, err := sim.New(m, sim.DefaultConfig(cfg.Seed+int64(mi)*1001))
 	if err != nil {
 		return MachineResult{}, err
 	}
+	_, tuneSpan := trace.Start(ctx, "campaign.autotune")
 	tuning, quality, err := microbench.AutoTune(eng, machine.Single)
+	tuneSpan.End()
 	if err != nil {
 		return MachineResult{}, err
 	}
@@ -226,7 +246,7 @@ func runMachine(ctx context.Context, cfg Config, mi int, workers int) (MachineRe
 				hi = 16
 			}
 		}
-		p, err := microbench.Sweep(eng, prec, microbench.SweepConfig{
+		p, err := microbench.Sweep(ctx, eng, prec, microbench.SweepConfig{
 			Intensities: core.LogGrid(cfg.LoIntensity, hi, cfg.Points),
 			VolumeBytes: cfg.VolumeBytes,
 			Reps:        cfg.Reps,
@@ -240,7 +260,10 @@ func runMachine(ctx context.Context, cfg Config, mi int, workers int) (MachineRe
 		}
 		pts = append(pts, p...)
 	}
+	_, fitSpan := trace.Start(ctx, "campaign.fit")
+	fitSpan.Tag("observations", len(pts))
 	coef, _, err := microbench.FitEq9(pts)
+	fitSpan.End()
 	if err != nil {
 		return MachineResult{}, err
 	}

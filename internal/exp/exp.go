@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/chart"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // Config controls experiment execution.
@@ -46,6 +47,16 @@ type Config struct {
 	SVGDir string
 	// PNGDir, when set, receives one PNG per figure experiment.
 	PNGDir string
+	// Trace, when non-nil, records spans for the sweeps inside each
+	// experiment. Tracing never touches the noise streams, so reports
+	// are identical with or without it.
+	Trace *trace.Tracer
+}
+
+// ctx returns a context carrying cfg.Trace, the handle experiments use
+// to hand the tracer down to Sweep and the worker pool.
+func (c Config) ctx() context.Context {
+	return trace.WithTracer(context.Background(), c.Trace)
 }
 
 // Comparison pairs a paper-reported value with its reproduced value.
@@ -178,11 +189,17 @@ func All() []Experiment {
 // each seeds its own simulators from cfg.Seed — so concurrency changes
 // wall time, never report content; the first failure cancels the
 // remaining experiments and is returned annotated with its experiment
-// ID.
+// ID. When ctx or cfg carries a tracer, each experiment runs under an
+// "exp.<id>" span.
 func RunAll(ctx context.Context, selected []Experiment, cfg Config, workers int) ([]*Report, error) {
+	if cfg.Trace == nil {
+		cfg.Trace = trace.FromContext(ctx)
+	}
 	return parallel.Map(ctx, len(selected), workers,
 		func(_ context.Context, i int) (*Report, error) {
+			_, sp := cfg.Trace.StartRoot(context.Background(), "exp."+selected[i].ID)
 			rep, err := selected[i].Run(cfg)
+			sp.End()
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", selected[i].ID, err)
 			}

@@ -270,7 +270,7 @@ func runAblationCap(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		return microbench.Sweep(eng, machine.Single, microbench.SweepConfig{
+		return microbench.Sweep(cfg.ctx(), eng, machine.Single, microbench.SweepConfig{
 			Intensities: grid,
 			VolumeBytes: 1 << 27,
 			Reps:        reps,

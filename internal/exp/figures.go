@@ -175,7 +175,7 @@ func figure4(prec machine.Precision, id string) func(Config) (*Report, error) {
 			if cfg.Fast {
 				reps, n = 5, 9
 			}
-			pts, err := microbench.Sweep(eng, prec, microbench.SweepConfig{
+			pts, err := microbench.Sweep(cfg.ctx(), eng, prec, microbench.SweepConfig{
 				Intensities: core.LogGrid(0.25, fc.hiI, n),
 				VolumeBytes: 1 << 28,
 				Reps:        reps,
@@ -287,7 +287,7 @@ func figure5(prec machine.Precision, id string) func(Config) (*Report, error) {
 			if cfg.Fast {
 				reps, n = 5, 9
 			}
-			pts, err := microbench.Sweep(eng, prec, microbench.SweepConfig{
+			pts, err := microbench.Sweep(cfg.ctx(), eng, prec, microbench.SweepConfig{
 				Intensities: core.LogGrid(0.25, fc.hiI, n),
 				VolumeBytes: 1 << 28,
 				Reps:        reps,

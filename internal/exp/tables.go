@@ -105,7 +105,7 @@ func sweepBoth(cfg Config, m *machine.Machine, seed int64) ([]microbench.Point, 
 		if prec == machine.Double {
 			hi = 16
 		}
-		pts, err := microbench.Sweep(eng, prec, microbench.SweepConfig{
+		pts, err := microbench.Sweep(cfg.ctx(), eng, prec, microbench.SweepConfig{
 			Intensities: core.LogGrid(0.25, hi, points),
 			VolumeBytes: 1 << 28,
 			Reps:        reps,

@@ -1,6 +1,7 @@
 package fmm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -126,7 +128,21 @@ type StudyResult struct {
 // basic two-level model (eq. 2), fit the lumped cache energy from the
 // reference implementation, and re-estimate the L1/L2-only class.
 func RunStudy(cfg StudyConfig) (*StudyResult, error) {
+	return RunStudyCtx(context.Background(), cfg)
+}
+
+// RunStudyCtx is RunStudy with span tracing: when ctx carries a
+// trace.Tracer the study records an "fmm.study" span enclosing an
+// "fmm.tree" span (octree build + U-list construction), one
+// "fmm.cache_replay" span covering the per-variant traffic simulation
+// through the cache hierarchy, and an "fmm.fit" span for the lumped
+// cache-energy fit and refined estimates. Tracing reads only the
+// clock, so results are identical with or without it.
+func RunStudyCtx(ctx context.Context, cfg StudyConfig) (*StudyResult, error) {
 	cfg.defaults()
+	ctx, study := trace.Start(ctx, "fmm.study")
+	study.Tag("n", cfg.N).Tag("variants", len(cfg.Variants))
+	defer study.End()
 	if len(cfg.Machine.Caches) == 0 {
 		return nil, fmt.Errorf("fmm: machine %s has no cache hierarchy", cfg.Machine.Name)
 	}
@@ -135,13 +151,16 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 	}
 
 	pts := UniformPoints(cfg.N, cfg.Seed)
+	_, treeSpan := trace.Start(ctx, "fmm.tree")
 	tree, err := Build(pts, cfg.LeafSize, cfg.MaxDepth)
 	if err != nil {
+		treeSpan.End()
 		return nil, err
 	}
 	u := tree.BuildULists()
 	pairs := tree.Pairs(u)
 	w := Work(pairs)
+	treeSpan.Tag("pairs", pairs).End()
 
 	h, err := cache.FromMachine(cfg.Machine)
 	if err != nil {
@@ -164,6 +183,7 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 		TrueCachePJ: float64(cfg.Machine.Caches[0].EnergyPerByte) * 1e12,
 	}
 
+	_, replay := trace.Start(ctx, "fmm.cache_replay")
 	refIdx := -1
 	for _, v := range cfg.Variants {
 		tr, err := tree.SimulateTraffic(u, v, h)
@@ -203,11 +223,14 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 		}
 		res.Results = append(res.Results, vr)
 	}
+	replay.End()
 	if refIdx < 0 {
 		return nil, errors.New("fmm: variant population lacks the reference implementation (SoA, cache-only, tile 1, unroll 1, width 1)")
 	}
 
 	// Fit the lumped cache cost from the reference variant (§V-C).
+	_, fitSpan := trace.Start(ctx, "fmm.fit")
+	defer fitSpan.End()
 	ref := &res.Results[refIdx]
 	fit, err := core.FitLevelEnergy(ref.MeasuredEnergy, ref.Eq2Estimate, ref.Traffic.CacheBytes())
 	if err != nil {

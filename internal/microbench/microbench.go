@@ -11,6 +11,7 @@ import (
 	"repro/internal/powermon"
 	"repro/internal/regress"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -186,7 +187,17 @@ type repMeasurement struct {
 // monitor is configured, monitor — noise stream from the engine seed,
 // so the emitted points do not depend on worker count or scheduling:
 // the parallel sweep is byte-identical to the workers = 1 sweep.
-func Sweep(eng *sim.Engine, prec machine.Precision, cfg SweepConfig) ([]Point, error) {
+//
+// ctx cancels the sweep between kernel executions and carries the
+// optional trace.Tracer: when tracing is enabled the sweep records a
+// "microbench.sweep" span plus one "sweep.rep" span per (grid index,
+// repetition) task, with "sim.run" and "powermon.integrate" child
+// phases. Tracing reads only the clock — the emitted points are
+// byte-identical with tracing on, off, or absent.
+func Sweep(ctx context.Context, eng *sim.Engine, prec machine.Precision, cfg SweepConfig) ([]Point, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(cfg.Intensities) == 0 {
 		return nil, errors.New("microbench: no intensities")
 	}
@@ -227,21 +238,32 @@ func Sweep(eng *sim.Engine, prec machine.Precision, cfg SweepConfig) ([]Point, e
 		grid[gi] = gridKernel{w: w, q: q, spec: sim.KernelSpec{W: w, Q: q, Precision: prec, Tuning: cfg.Tuning}}
 	}
 
+	ctx, sweepSpan := trace.Start(ctx, "microbench.sweep")
+	sweepSpan.Tag("precision", prec.String()).
+		Tag("points", len(grid)).
+		Tag("reps", cfg.Reps)
+	defer sweepSpan.End()
+
 	// One task per (grid point, repetition); results land at their task
 	// index, so collection order is independent of execution order.
-	reps, err := parallel.Map(context.Background(), len(grid)*cfg.Reps, cfg.Workers,
-		func(_ context.Context, ti int) (repMeasurement, error) {
+	reps, err := parallel.Map(ctx, len(grid)*cfg.Reps, cfg.Workers,
+		func(ctx context.Context, ti int) (repMeasurement, error) {
 			gi, rep := ti/cfg.Reps, ti%cfg.Reps
+			ctx, repSpan := trace.Start(ctx, "sweep.rep")
+			repSpan.Tag("precision", prec.String()).Tag("grid", gi).Tag("rep", rep)
+			defer repSpan.End()
 			labels := []uint64{0, uint64(prec), uint64(gi), uint64(rep)}
 			labels[0] = sweepStream
-			r, err := eng.RunWith(eng.DeriveRand(labels...), grid[gi].spec)
+			r, err := eng.RunWithCtx(ctx, eng.DeriveRand(labels...), grid[gi].spec)
 			if err != nil {
 				return repMeasurement{}, err
 			}
 			m := repMeasurement{t: float64(r.Duration), e: float64(r.Energy), throttled: r.Throttled}
 			if cfg.Monitor != nil {
 				labels[0] = monitorStream
+				_, monSpan := trace.Start(ctx, "powermon.integrate")
 				tr, err := cfg.Monitor.Fork(labels...).Measure(r, r.Duration)
+				monSpan.End()
 				if err != nil {
 					return repMeasurement{}, err
 				}

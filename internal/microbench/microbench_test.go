@@ -1,6 +1,7 @@
 package microbench
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestAutoTuneFindsOptimum(t *testing.T) {
 func TestSweepProducesRequestedIntensities(t *testing.T) {
 	e := engine(t, machine.CoreI7950(), 5)
 	grid := core.LogGrid(0.25, 16, 7)
-	pts, err := Sweep(e, machine.Double, SweepConfig{
+	pts, err := Sweep(context.Background(), e, machine.Double, SweepConfig{
 		Intensities: grid,
 		VolumeBytes: 1 << 26,
 		Reps:        3,
@@ -68,16 +69,16 @@ func TestSweepProducesRequestedIntensities(t *testing.T) {
 
 func TestSweepErrors(t *testing.T) {
 	e := engine(t, machine.CoreI7950(), 5)
-	if _, err := Sweep(e, machine.Single, SweepConfig{}); err == nil {
+	if _, err := Sweep(context.Background(), e, machine.Single, SweepConfig{}); err == nil {
 		t.Error("no intensities accepted")
 	}
-	if _, err := Sweep(e, machine.Single, SweepConfig{Intensities: []float64{-1}, Reps: 1}); err == nil {
+	if _, err := Sweep(context.Background(), e, machine.Single, SweepConfig{Intensities: []float64{-1}, Reps: 1}); err == nil {
 		t.Error("negative intensity accepted")
 	}
-	if _, err := Sweep(e, machine.Single, SweepConfig{Intensities: []float64{1}, Reps: -1}); err == nil {
+	if _, err := Sweep(context.Background(), e, machine.Single, SweepConfig{Intensities: []float64{1}, Reps: -1}); err == nil {
 		t.Error("negative reps accepted")
 	}
-	if _, err := Sweep(e, machine.Single, SweepConfig{Intensities: []float64{1}, VolumeBytes: -1}); err == nil {
+	if _, err := Sweep(context.Background(), e, machine.Single, SweepConfig{Intensities: []float64{1}, VolumeBytes: -1}); err == nil {
 		t.Error("negative volume accepted")
 	}
 }
@@ -91,7 +92,7 @@ func TestFitEq9RecoversTableIV(t *testing.T) {
 	var pts []Point
 	for _, prec := range []machine.Precision{machine.Single, machine.Double} {
 		grid := core.LogGrid(0.25, 64, 11)
-		p, err := Sweep(e, prec, SweepConfig{
+		p, err := Sweep(context.Background(), e, prec, SweepConfig{
 			Intensities: grid,
 			VolumeBytes: 1 << 28,
 			Reps:        25,
@@ -147,7 +148,7 @@ func TestFitEq9ThroughPowermonPipeline(t *testing.T) {
 	}
 	var pts []Point
 	for _, prec := range []machine.Precision{machine.Single, machine.Double} {
-		p, err := Sweep(e, prec, SweepConfig{
+		p, err := Sweep(context.Background(), e, prec, SweepConfig{
 			Intensities: core.LogGrid(0.25, 16, 7),
 			VolumeBytes: 1 << 30,
 			Reps:        10,
@@ -233,7 +234,7 @@ func TestSweepThrottlesNearBalanceOnGTX580Single(t *testing.T) {
 	m := machine.GTX580()
 	e := engine(t, m, 3)
 	p := core.FromMachine(m, machine.Single)
-	pts, err := Sweep(e, machine.Single, SweepConfig{
+	pts, err := Sweep(context.Background(), e, machine.Single, SweepConfig{
 		Intensities: []float64{0.25, p.BalanceTime(), 64},
 		VolumeBytes: 1 << 26,
 		Reps:        3,
@@ -272,7 +273,7 @@ func TestFittedCoefficientsPredictHeldOutPoints(t *testing.T) {
 	sweep := func(grid []float64) []Point {
 		var pts []Point
 		for _, prec := range []machine.Precision{machine.Single, machine.Double} {
-			p, err := Sweep(e, prec, SweepConfig{
+			p, err := Sweep(context.Background(), e, prec, SweepConfig{
 				Intensities: grid,
 				VolumeBytes: 1 << 28,
 				Reps:        20,
@@ -353,7 +354,7 @@ func TestSweepWorkerInvariance(t *testing.T) {
 			}
 			cfg.Monitor = mon
 		}
-		pts, err := Sweep(e, machine.Single, cfg)
+		pts, err := Sweep(context.Background(), e, machine.Single, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -377,11 +378,11 @@ func TestSweepWorkerInvariance(t *testing.T) {
 		Reps:        6,
 		Tuning:      e.OptimalTuning(),
 	}
-	first, err := Sweep(e, machine.Single, cfg)
+	first, err := Sweep(context.Background(), e, machine.Single, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := Sweep(e, machine.Single, cfg)
+	second, err := Sweep(context.Background(), e, machine.Single, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +396,7 @@ func TestSweepWorkerInvariance(t *testing.T) {
 func TestSweepKeepRepsWorkerInvariance(t *testing.T) {
 	run := func(workers int) []Point {
 		e := engine(t, machine.CoreI7950(), 33)
-		pts, err := Sweep(e, machine.Double, SweepConfig{
+		pts, err := Sweep(context.Background(), e, machine.Double, SweepConfig{
 			Intensities: core.LogGrid(0.5, 8, 4),
 			VolumeBytes: 1 << 27,
 			Reps:        5,

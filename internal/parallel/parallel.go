@@ -18,6 +18,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // Workers resolves a worker-count request: values below 1 mean "one
@@ -56,12 +58,30 @@ func (e *PanicError) Error() string {
 // recovered into a *PanicError and treated as a failure. With
 // workers = 1 tasks run in index order on the calling goroutine and
 // execution stops at the first error, exactly like a hand-written loop.
+//
+// When ctx carries a trace.Tracer, every task is wrapped in a
+// "parallel.task" span whose duration is the task's run time and whose
+// queue_wait_us tag is the time the task spent waiting for a worker
+// (measured from batch submission) — the queue-wait versus run-time
+// attribution the observability runbook builds on. Without a tracer
+// the wrapping costs one context lookup for the whole batch.
 func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if tr := trace.FromContext(ctx); tr != nil {
+		submit := tr.Now()
+		inner := fn
+		fn = func(ctx context.Context, i int) error {
+			wait := tr.Now() - submit
+			ctx, sp := trace.Start(ctx, "parallel.task")
+			sp.Tag("index", i).Tag("queue_wait_us", wait.Microseconds())
+			defer sp.End()
+			return inner(ctx, i)
+		}
 	}
 	workers = Workers(workers)
 	if workers > n {

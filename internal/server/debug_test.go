@@ -1,0 +1,202 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// traceDump is the subset of the Chrome trace envelope the tests read.
+type traceDump struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func getTrace(t *testing.T, url string) traceDump {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace status = %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump traceDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("/debug/trace is not valid JSON: %v", err)
+	}
+	return dump
+}
+
+// spanArgs returns the args of the first span with the given name and
+// whether one was found.
+func (d traceDump) spanArgs(name string) (map[string]any, bool) {
+	for _, ev := range d.TraceEvents {
+		if ev.Name == name {
+			return ev.Args, true
+		}
+	}
+	return nil, false
+}
+
+func (d traceDump) count(name string) int {
+	n := 0
+	for _, ev := range d.TraceEvents {
+		if ev.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDebugSurfaceOffByDefault: without Config.Debug the debug
+// endpoints don't exist and no tracer is allocated.
+func TestDebugSurfaceOffByDefault(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if s.Tracer() != nil {
+		t.Error("Tracer() non-nil without Debug")
+	}
+	for _, path := range []string{"/debug/trace", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s status = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestDebugTraceRecordsEvalSpans: with Debug on, each eval request
+// leaves an http.eval span tagged with its cache provenance, the spans
+// feed span_* latency histograms on /metrics, and ?reset=1 clears the
+// buffer.
+func TestDebugTraceRecordsEvalSpans(t *testing.T) {
+	_, ts := newTestServer(t, Config{Debug: true})
+	body := `{"machine":"gtx580","intensity":4}`
+	post(t, ts.URL+"/v1/eval", body) // miss
+	post(t, ts.URL+"/v1/eval", body) // hit
+
+	dump := getTrace(t, ts.URL)
+	if got := dump.count("http.eval"); got != 2 {
+		t.Fatalf("http.eval spans = %d, want 2", got)
+	}
+	seen := map[string]bool{}
+	for _, ev := range dump.TraceEvents {
+		if ev.Name != "http.eval" {
+			continue
+		}
+		if ev.Ph != "X" {
+			t.Errorf("span phase = %q, want X", ev.Ph)
+		}
+		cache, _ := ev.Args["cache"].(string)
+		seen[cache] = true
+	}
+	if !seen["miss"] || !seen["hit"] {
+		t.Errorf("cache tags = %v, want both miss and hit", seen)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(page), "span_http_eval") {
+		t.Error("/metrics is missing the span_http_eval latency histogram")
+	}
+
+	// Dump-and-reset leaves an empty buffer for the next capture.
+	resp, err = http.Get(ts.URL + "/debug/trace?reset=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dump = getTrace(t, ts.URL); len(dump.TraceEvents) != 0 {
+		t.Errorf("buffer holds %d spans after reset", len(dump.TraceEvents))
+	}
+}
+
+// TestDebugTraceRecordsCampaignSpans: a campaign request's shared
+// engine execution lands in the same trace as the request span, which
+// is tagged with engine_run/cache provenance.
+func TestDebugTraceRecordsCampaignSpans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real campaign engine")
+	}
+	_, ts := newTestServer(t, Config{Debug: true})
+	cfgJSON := `{"machines":["gtx580"],"lo_intensity":0.25,"hi_intensity":16,"points":4,"reps":2,"volume_bytes":1048576,"seed":7}`
+	resp, body := post(t, ts.URL+"/v1/campaign", cfgJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("campaign status = %d: %s", resp.StatusCode, body)
+	}
+
+	dump := getTrace(t, ts.URL)
+	args, ok := dump.spanArgs("http.campaign")
+	if !ok {
+		t.Fatal("no http.campaign span recorded")
+	}
+	if args["cache"] != "miss" || args["engine_run"] != true {
+		t.Errorf("http.campaign args = %v, want cache=miss engine_run=true", args)
+	}
+	if _, ok := dump.spanArgs("campaign"); !ok {
+		t.Error("engine execution left no campaign span")
+	}
+	// machines × precisions × points × reps = 1 × 2 × 4 × 2.
+	if got := dump.count("sweep.rep"); got != 16 {
+		t.Errorf("sweep.rep spans = %d, want 16", got)
+	}
+}
+
+// TestDebugTracedResponseMatchesUntraced: tracing must not perturb the
+// engine — a Debug server serves byte-identical campaign results.
+func TestDebugTracedResponseMatchesUntraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real campaign engine")
+	}
+	_, ts := newTestServer(t, Config{Debug: true})
+	cfgJSON := `{"machines":["gtx580"],"lo_intensity":0.25,"hi_intensity":16,"points":4,"reps":1,"volume_bytes":1048576,"seed":11}`
+	_, body := post(t, ts.URL+"/v1/campaign", cfgJSON)
+	cfg, err := campaign.ParseConfig([]byte(cfgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.RunParallel(context.Background(), cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := res.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != string(want)+"\n" {
+		t.Error("traced campaign body differs from untraced direct run")
+	}
+}
+
+// TestDebugPprofIndex: the pprof index is mounted under Debug.
+func TestDebugPprofIndex(t *testing.T) {
+	_, ts := newTestServer(t, Config{Debug: true})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}

@@ -27,6 +27,17 @@
 //	POST /v1/eval      single roofline/energy model query
 //	POST /v1/campaign  full tune→sweep→fit campaign (cached, coalesced)
 //	GET  /metrics      plain-text operational counters
+//
+// With Config.Debug set, the server additionally records every request
+// (and the campaign engine's internal phases) in an internal/trace ring
+// buffer and serves:
+//
+//	GET  /debug/trace   the span buffer as Chrome trace_event JSON
+//	GET  /debug/pprof/  the standard net/http/pprof profile handlers
+//
+// Span durations also feed per-phase latency histograms on GET /metrics
+// (metric names span_<name> with dots mapped to underscores). See
+// docs/OBSERVABILITY.md for the runbook.
 package server
 
 import (
@@ -36,7 +47,9 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/campaign"
@@ -44,6 +57,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // Config tunes one Server. The zero value of any field falls back to
@@ -72,6 +86,15 @@ type Config struct {
 	MaxReps int
 	// MaxBodyBytes caps a request body.
 	MaxBodyBytes int64
+	// Debug enables the observability surface: per-request span tracing
+	// into a bounded ring buffer, GET /debug/trace, the net/http/pprof
+	// handlers under /debug/pprof/, and span_* latency histograms on
+	// GET /metrics. Off by default; when off, tracing costs nothing.
+	Debug bool
+	// TraceCapacity bounds the span ring buffer when Debug is set
+	// (<= 0 means trace.DefaultCapacity). Oldest spans are dropped
+	// first; the drop count is reported in the export.
+	TraceCapacity int
 }
 
 // DefaultConfig returns the production defaults.
@@ -102,6 +125,7 @@ type Server struct {
 	reg     *metrics.Registry
 	engine  engineFunc
 	mux     *http.ServeMux
+	tracer  *trace.Tracer // nil unless cfg.Debug
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -142,15 +166,35 @@ func New(cfg Config) *Server {
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
+	if cfg.Debug {
+		s.tracer = trace.New(trace.Config{
+			Capacity: cfg.TraceCapacity,
+			Observer: func(name string, d time.Duration) {
+				s.reg.Latency("span_" + strings.ReplaceAll(name, ".", "_")).Observe(d)
+			},
+		})
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/machines", s.handleMachines)
 	mux.HandleFunc("POST /v1/eval", s.handleEval)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Debug {
+		mux.HandleFunc("GET /debug/trace", s.handleTrace)
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }
+
+// Tracer returns the server's span tracer, nil unless Config.Debug was
+// set. The rooflined binary uses it to dump a Chrome trace at shutdown.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -384,30 +428,37 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("requests_eval_total").Inc()
 	start := time.Now()
 	defer func() { s.reg.Latency("latency_eval").Observe(time.Since(start)) }()
+	_, sp := s.tracer.StartRoot(r.Context(), "http.eval")
+	defer sp.End()
 
 	var q evalRequest
 	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &q); err != nil {
+		sp.Tag("error", "bad_body")
 		s.writeError(w, err)
 		return
 	}
 	if err := checkEval(&q); err != nil {
+		sp.Tag("error", "invalid")
 		s.writeError(w, err)
 		return
 	}
 	key := hashEval(q)
 	if body, ok := s.cache.get(key); ok {
 		s.reg.Counter("cache_hits_total").Inc()
+		sp.Tag("cache", "hit")
 		writeCached(w, key, "hit", body)
 		return
 	}
 	s.reg.Counter("cache_misses_total").Inc()
 	body, err := evaluate(q)
 	if err != nil {
+		sp.Tag("error", "eval")
 		s.writeError(w, err)
 		return
 	}
 	s.reg.Counter("eval_computes_total").Inc()
 	s.cache.put(key, body)
+	sp.Tag("cache", "miss")
 	writeCached(w, key, "miss", body)
 }
 
@@ -436,19 +487,24 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("requests_campaign_total").Inc()
 	start := time.Now()
 	defer func() { s.reg.Latency("latency_campaign").Observe(time.Since(start)) }()
+	_, sp := s.tracer.StartRoot(r.Context(), "http.campaign")
+	defer sp.End()
 
 	var cfg campaign.Config
 	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &cfg); err != nil {
+		sp.Tag("error", "bad_body")
 		s.writeError(w, err)
 		return
 	}
 	if err := s.checkCampaign(cfg); err != nil {
+		sp.Tag("error", "invalid")
 		s.writeError(w, err)
 		return
 	}
 	key := hashCampaign(cfg)
 	if body, ok := s.cache.get(key); ok {
 		s.reg.Counter("cache_hits_total").Inc()
+		sp.Tag("cache", "hit")
 		writeCached(w, key, "hit", body)
 		return
 	}
@@ -462,12 +518,17 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	body, leader, err := s.flights.do(r.Context(), key, func() ([]byte, error) {
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
 		defer cancel()
+		// The engine context carries the server tracer so campaign,
+		// sweep, and pool spans from the shared execution land in the
+		// same ring buffer as the request spans.
+		ctx = trace.WithTracer(ctx, s.tracer)
 		granted, release, err := s.budget.Acquire(ctx, s.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 		defer release()
 		s.reg.Counter("engine_runs_total").Inc()
+		sp.Tag("engine_run", true).Tag("workers", granted)
 		res, err := s.engine(ctx, cfg, granted)
 		if err != nil {
 			return nil, err
@@ -481,6 +542,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		return data, nil
 	})
 	if err != nil {
+		sp.Tag("error", "engine")
 		s.writeError(w, err)
 		return
 	}
@@ -489,6 +551,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		source = "coalesced"
 		s.reg.Counter("coalesced_total").Inc()
 	}
+	sp.Tag("cache", source)
 	writeCached(w, key, source, body)
 }
 
@@ -507,6 +570,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("flights_in_flight").Set(int64(s.flights.inFlight()))
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, s.reg.Render())
+}
+
+// handleTrace implements GET /debug/trace (Debug only): the current
+// span ring buffer as Chrome trace_event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev. ?reset=1 clears the
+// buffer after the dump, so successive captures don't overlap.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("requests_debug_trace_total").Inc()
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tracer.WriteChrome(w); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if r.URL.Query().Get("reset") == "1" {
+		s.tracer.Reset()
+	}
 }
 
 // decodeBody strictly decodes one JSON value from the request body,

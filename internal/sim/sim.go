@@ -22,6 +22,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/parallel"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -346,6 +347,22 @@ func (e *Engine) RunWith(rng *stats.Rand, spec KernelSpec) (*Run, error) {
 		Outlier:       outlier,
 		ripplePeriods: 8,
 	}, nil
+}
+
+// RunWithCtx is RunWith under a context: when ctx carries a
+// trace.Tracer the kernel execution is recorded as a "sim.run" span
+// tagged with the precision and whether the power cap throttled the
+// run — the per-kernel simulate phase in an execution trace. The
+// simulation itself is identical to RunWith; tracing never touches the
+// noise stream, so traced and untraced runs produce the same record.
+func (e *Engine) RunWithCtx(ctx context.Context, rng *stats.Rand, spec KernelSpec) (*Run, error) {
+	_, sp := trace.Start(ctx, "sim.run")
+	r, err := e.RunWith(rng, spec)
+	if sp != nil && err == nil {
+		sp.Tag("precision", spec.Precision.String()).Tag("throttled", r.Throttled)
+	}
+	sp.End()
+	return r, err
 }
 
 // RunRepeated executes the kernel reps times (the paper runs each

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// This file turns the ring buffer into consumable artifacts: Chrome
+// trace_event JSON (the format chrome://tracing and Perfetto open
+// directly) and per-phase aggregates for quick terminal diagnosis and
+// the /metrics latency histograms.
+
+// chromeEvent is one trace_event record. Complete events (ph "X")
+// carry both a timestamp and a duration in microseconds.
+type chromeEvent struct {
+	// Name is the span name.
+	Name string `json:"name"`
+	// Cat is the event category; all spans export as "span".
+	Cat string `json:"cat"`
+	// Ph is the event phase; "X" marks a complete (begin+end) event.
+	Ph string `json:"ph"`
+	// Ts is the start timestamp in microseconds from the trace epoch.
+	Ts float64 `json:"ts"`
+	// Dur is the duration in microseconds.
+	Dur float64 `json:"dur"`
+	// Pid is the process lane; the exporter uses a single process.
+	Pid int `json:"pid"`
+	// Tid is the thread lane — the span's track.
+	Tid uint64 `json:"tid"`
+	// Args carries the span's tags.
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event envelope.
+type chromeTrace struct {
+	// TraceEvents is the event list.
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	// DisplayTimeUnit selects the viewer's default unit.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	// Dropped reports ring-buffer overwrites (0 means the trace is
+	// complete). Extra top-level keys are legal in the format.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// MarshalChrome renders the recorded spans as Chrome trace_event JSON.
+// On a disabled tracer it returns an empty, still-valid trace.
+func (t *Tracer) MarshalChrome() ([]byte, error) {
+	events := t.Events()
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(events)),
+		DisplayTimeUnit: "ms",
+		Dropped:         t.Dropped(),
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  "span",
+			Ph:   "X",
+			Ts:   float64(ev.Start) / float64(time.Microsecond),
+			Dur:  float64(ev.Dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  ev.Track,
+		}
+		if len(ev.Tags) > 0 {
+			ce.Args = make(map[string]any, len(ev.Tags))
+			for _, tag := range ev.Tags {
+				ce.Args[tag.Key] = tag.Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// WriteChrome writes the trace_event JSON to w.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	data, err := t.MarshalChrome()
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Aggregate is one phase's reduced statistics over the ring buffer.
+type Aggregate struct {
+	// Name is the span name the statistics cover.
+	Name string
+	// Count is the number of recorded spans with this name.
+	Count int
+	// Total is the summed duration.
+	Total time.Duration
+	// Min and Max bound the observed durations.
+	Min time.Duration
+	// Max is the largest observed duration.
+	Max time.Duration
+}
+
+// Mean returns Total/Count (0 for an empty aggregate).
+func (a Aggregate) Mean() time.Duration {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Total / time.Duration(a.Count)
+}
+
+// String renders the aggregate as one diagnostic line.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("%-24s n=%-6d total=%-12v mean=%-10v min=%-10v max=%v",
+		a.Name, a.Count, a.Total, a.Mean(), a.Min, a.Max)
+}
+
+// Aggregates reduces the ring to one Aggregate per span name, sorted
+// by descending total duration — the "where did the time go" summary.
+func (t *Tracer) Aggregates() []Aggregate {
+	byName := map[string]*Aggregate{}
+	for _, ev := range t.Events() {
+		a, ok := byName[ev.Name]
+		if !ok {
+			a = &Aggregate{Name: ev.Name, Min: ev.Dur, Max: ev.Dur}
+			byName[ev.Name] = a
+		}
+		a.Count++
+		a.Total += ev.Dur
+		if ev.Dur < a.Min {
+			a.Min = ev.Dur
+		}
+		if ev.Dur > a.Max {
+			a.Max = ev.Dur
+		}
+	}
+	out := make([]Aggregate, 0, len(byName))
+	for _, a := range byName {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,156 @@
+package energyroofline
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/trace"
+)
+
+// chromeEvent is the subset of the trace_event format the e2e test
+// inspects.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+// TestCampaignBinaryTrace runs the campaign binary with and without
+// -trace and verifies the acceptance contract: the trace file is valid
+// Chrome trace_event JSON covering every machine, precision, point, and
+// rep plus the worker pool's queue-wait attribution — and stdout is
+// byte-identical to the untraced run (tracing reads only the clock).
+func TestCampaignBinaryTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "campaign")
+
+	cfgPath := filepath.Join(dir, "cfg.json")
+	cfg := `{"machines":["gtx580","i7-950"],"lo_intensity":0.25,"hi_intensity":16,
+		"points":5,"reps":3,"volume_bytes":67108864,"seed":7}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	plain := runBin(t, bin, "-config", cfgPath)
+	tracePath := filepath.Join(dir, "out.json")
+	traced := runBin(t, bin, "-config", cfgPath, "-trace", tracePath)
+	// runBin captures combined output; drop the stderr confirmation
+	// line, which is the only difference a traced run may add.
+	traced = strings.Join(func() []string {
+		var kept []string
+		for _, line := range strings.Split(traced, "\n") {
+			if !strings.HasPrefix(line, "campaign: wrote ") {
+				kept = append(kept, line)
+			}
+		}
+		return kept
+	}(), "\n")
+	if traced != plain {
+		t.Error("-trace changed the campaign output")
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+
+	count := map[string]int{}
+	machines := map[string]bool{}
+	queueWaitTagged := 0
+	for _, ev := range dump.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want complete event X", ev.Name, ev.Ph)
+		}
+		if ev.Dur < 0 || ev.Ts < 0 {
+			t.Fatalf("event %q has negative timing: ts=%v dur=%v", ev.Name, ev.Ts, ev.Dur)
+		}
+		count[ev.Name]++
+		switch ev.Name {
+		case "campaign.machine":
+			if key, ok := ev.Args["machine"].(string); ok {
+				machines[key] = true
+			}
+		case "parallel.task":
+			if _, ok := ev.Args["queue_wait_us"]; ok {
+				queueWaitTagged++
+			}
+		}
+	}
+	if count["campaign"] != 1 {
+		t.Errorf("campaign spans = %d, want 1", count["campaign"])
+	}
+	if !machines["gtx580"] || !machines["i7-950"] {
+		t.Errorf("machine spans cover %v, want both gtx580 and i7-950", machines)
+	}
+	// Every rep is a span: machines × precisions × points × reps.
+	if want := 2 * 2 * 5 * 3; count["sweep.rep"] != want {
+		t.Errorf("sweep.rep spans = %d, want %d", count["sweep.rep"], want)
+	}
+	// One autotune and one eq. 9 fit per machine (the fit pools both
+	// precisions' observations).
+	if count["campaign.autotune"] != 2 || count["campaign.fit"] != 2 {
+		t.Errorf("autotune spans = %d, fit spans = %d; want 2 each",
+			count["campaign.autotune"], count["campaign.fit"])
+	}
+	if count["parallel.task"] == 0 || queueWaitTagged != count["parallel.task"] {
+		t.Errorf("parallel.task spans = %d with %d queue_wait_us tags; want all tagged, nonzero",
+			count["parallel.task"], queueWaitTagged)
+	}
+}
+
+// benchCampaignConfig is a small but real campaign load for the
+// tracing-overhead benchmarks.
+func benchCampaignConfig() campaign.Config {
+	cfg := campaign.Default()
+	cfg.Machines = []string{"gtx580"}
+	cfg.Points = 5
+	cfg.Reps = 3
+	cfg.VolumeBytes = 1 << 24
+	cfg.Seed = 7
+	return cfg
+}
+
+// BenchmarkCampaignTraceDisabled is the baseline: no tracer in the
+// context, so every trace call is a nil-receiver no-op. Compare with
+// BenchmarkCampaignTraceEnabled to bound tracing overhead; the pair
+// backs the "disabled tracing is within noise of the seed baseline"
+// acceptance criterion.
+func BenchmarkCampaignTraceDisabled(b *testing.B) {
+	cfg := benchCampaignConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.RunParallel(context.Background(), cfg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignTraceEnabled runs the same campaign with a live
+// tracer capturing every span.
+func BenchmarkCampaignTraceEnabled(b *testing.B) {
+	cfg := benchCampaignConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := trace.New(trace.Config{})
+		ctx := trace.WithTracer(context.Background(), tr)
+		if _, err := campaign.RunParallel(ctx, cfg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
