@@ -1,0 +1,411 @@
+// Command corebench is the repository's core hot-path benchmark
+// harness: it runs a pinned set of end-to-end scenarios — a single
+// kernel execution, a 64-rep monitored sweep, a full (small) campaign,
+// and the §V-C FMM cache replay — through the exact code paths every
+// campaign, server request, and study bottoms out in, and reports
+// ns/op, bytes/op, and allocs/op per scenario.
+//
+// Results are tracked in BENCH_core.json at the repository root: a
+// fixed pre-optimization baseline plus one appended entry per PR that
+// touches the core path. Each run prints the speedup and allocation
+// reduction against the recorded baseline; with -check the harness
+// exits nonzero when a scenario regresses beyond the thresholds against
+// the latest recorded entry, which is how CI keeps the optimizations
+// permanent.
+//
+// Usage:
+//
+//	go run ./cmd/corebench                      # run all scenarios, compare to BENCH_core.json
+//	go run ./cmd/corebench -scenario single_run # one scenario
+//	go run ./cmd/corebench -check               # enforce regression thresholds (CI)
+//	go run ./cmd/corebench -update -note "..."  # append this run to BENCH_core.json
+//	go run ./cmd/corebench -record-baseline     # (once per epoch) pin the baseline block
+//
+// Time comparisons are hardware-dependent; allocation counts are not.
+// CI therefore runs -check with a generous -max-slowdown and a tight
+// -max-alloc-growth, so an allocation regression fails anywhere while
+// timing noise on shared runners does not.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fmm"
+	"repro/internal/machine"
+	"repro/internal/microbench"
+	"repro/internal/powermon"
+	"repro/internal/sim"
+)
+
+// Metrics are one scenario's measured per-operation costs, plus the
+// derived comparisons against the recorded baseline (filled in when a
+// baseline exists).
+type Metrics struct {
+	// NsPerOp is wall time per scenario iteration in nanoseconds.
+	NsPerOp int64 `json:"ns_per_op"`
+	// BytesPerOp is heap bytes allocated per iteration.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// AllocsPerOp is heap allocations per iteration.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// SpeedupVsBaseline is baseline ns/op divided by this run's ns/op.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+	// AllocReductionVsBaseline is the fraction of baseline allocs/op
+	// eliminated (0.9 = 90% fewer allocations).
+	AllocReductionVsBaseline float64 `json:"alloc_reduction_vs_baseline,omitempty"`
+}
+
+// Entry is one recorded harness run.
+type Entry struct {
+	// Date is the run date (YYYY-MM-DD).
+	Date string `json:"date"`
+	// PR is the pull request the entry belongs to.
+	PR int `json:"pr,omitempty"`
+	// Note describes what changed.
+	Note string `json:"note,omitempty"`
+	// Scenarios maps scenario name to its measured metrics.
+	Scenarios map[string]Metrics `json:"scenarios"`
+}
+
+// File is the BENCH_core.json schema.
+type File struct {
+	// Description explains the file's purpose and append-only policy.
+	Description string `json:"description"`
+	// CPU records the machine the entries were measured on.
+	CPU string `json:"cpu,omitempty"`
+	// Baseline is the fixed pre-optimization reference all speedups are
+	// computed against. It is written once and never rewritten.
+	Baseline *Entry `json:"baseline,omitempty"`
+	// Entries is the append-only trajectory, oldest first.
+	Entries []Entry `json:"entries"`
+}
+
+// scenario is one pinned benchmark target. Every scenario is fully
+// deterministic (fixed seeds), so allocs/op is reproducible anywhere.
+type scenario struct {
+	name string
+	desc string
+	fn   func(b *testing.B)
+}
+
+// scenarios returns the pinned targets, smallest first. Order is part
+// of the contract: CI's smoke step runs the first scenario only.
+func scenarios() []scenario {
+	return []scenario{
+		{
+			name: "single_run",
+			desc: "one sim.Engine.RunWith kernel execution (gtx580, derived stream)",
+			fn:   benchSingleRun,
+		},
+		{
+			name: "sweep_64rep",
+			desc: "microbench.Sweep: 5 intensities x 64 reps through the 1024 Hz power monitor",
+			fn:   benchSweep64,
+		},
+		{
+			name: "campaign",
+			desc: "campaign.RunParallel: tune->sweep->fit, both platforms, monitored",
+			fn:   benchCampaign,
+		},
+		{
+			name: "fmm_replay",
+			desc: "fmm.RunStudy: octree + 24-variant cache-hierarchy traffic replay",
+			fn:   benchFMMReplay,
+		},
+	}
+}
+
+func benchSingleRun(b *testing.B) {
+	eng, err := sim.New(machine.GTX580(), sim.DefaultConfig(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := sim.KernelSpec{W: 1e9, Q: 2.5e8, Precision: machine.Single}
+	rng := eng.DeriveRand(0xC0DE)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunWith(rng, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSweep64(b *testing.B) {
+	eng, err := sim.New(machine.GTX580(), sim.DefaultConfig(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := powermon.New(powermon.GPUChannels(), powermon.Config{Seed: 7, RateHz: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := microbench.SweepConfig{
+		Intensities: core.LogGrid(0.25, 64, 5),
+		VolumeBytes: 1 << 24,
+		Reps:        64,
+		Monitor:     mon,
+		Workers:     1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := microbench.Sweep(nil, eng, machine.Single, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCampaign(b *testing.B) {
+	cfg := campaign.Config{
+		Machines:    []string{"gtx580", "i7-950"},
+		LoIntensity: 0.25,
+		HiIntensity: 64,
+		Points:      5,
+		Reps:        6,
+		VolumeBytes: 1 << 24,
+		UsePowerMon: true,
+		Seed:        42,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFMMReplay(b *testing.B) {
+	// The first 24 generated variants cover SoA cache-only tiles and
+	// include the reference implementation (variant 0) the study's fit
+	// requires.
+	variants := fmm.GenerateVariants()[:24]
+	cfg := fmm.StudyConfig{N: 1024, LeafSize: 64, MaxDepth: 8, Seed: 7, Variants: variants}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fmm.RunStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// run measures one scenario with the testing harness.
+func run(s scenario) Metrics {
+	r := testing.Benchmark(s.fn)
+	return Metrics{
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// cpuModel best-efforts a human-readable CPU label.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, "model name") {
+				if i := strings.IndexByte(line, ':'); i >= 0 {
+					return strings.TrimSpace(line[i+1:])
+				}
+			}
+		}
+	}
+	return runtime.GOOS + "/" + runtime.GOARCH
+}
+
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &File{
+			Description: "Trajectory of core hot-path benchmarks (go run ./cmd/corebench). " +
+				"The baseline block is the fixed pre-optimization reference; entries are append-only, one per PR touching the core path. " +
+				"See docs/PERFORMANCE.md for methodology.",
+		}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("corebench: %s: %v", path, err)
+	}
+	return &f, nil
+}
+
+func saveFile(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// latestReference returns the metrics -check compares against: the most
+// recent recorded entry, falling back to the baseline.
+func latestReference(f *File) map[string]Metrics {
+	if n := len(f.Entries); n > 0 {
+		return f.Entries[n-1].Scenarios
+	}
+	if f.Baseline != nil {
+		return f.Baseline.Scenarios
+	}
+	return nil
+}
+
+func main() {
+	testing.Init()
+	benchFile := flag.String("bench-file", "BENCH_core.json", "trajectory file to read baselines from and record entries into")
+	scenarioFilter := flag.String("scenario", "all", "comma-separated scenario names to run, or 'all' (or 'list' to print them)")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum measurement time per scenario")
+	check := flag.Bool("check", false, "exit nonzero when a scenario regresses beyond the thresholds against the latest recorded entry")
+	maxSlowdown := flag.Float64("max-slowdown", 1.5, "-check fails when ns/op exceeds recorded*this (<= 0 disables the time check)")
+	maxAllocGrowth := flag.Float64("max-alloc-growth", 1.10, "-check fails when allocs/op exceeds recorded*this (<= 0 disables the alloc check)")
+	update := flag.Bool("update", false, "append this run as a new entry in -bench-file")
+	recordBaseline := flag.Bool("record-baseline", false, "record this run as the fixed baseline block (refuses to overwrite an existing baseline)")
+	pr := flag.Int("pr", 0, "PR number to record with -update/-record-baseline")
+	note := flag.String("note", "", "note to record with -update/-record-baseline")
+	flag.Parse()
+
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "corebench:", err)
+		os.Exit(2)
+	}
+
+	all := scenarios()
+	if *scenarioFilter == "list" {
+		for _, s := range all {
+			fmt.Printf("%-12s %s\n", s.name, s.desc)
+		}
+		return
+	}
+	var selected []scenario
+	if *scenarioFilter == "all" || *scenarioFilter == "" {
+		selected = all
+	} else {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*scenarioFilter, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		for _, s := range all {
+			if want[s.name] {
+				selected = append(selected, s)
+				delete(want, s.name)
+			}
+		}
+		if len(want) > 0 {
+			var unknown []string
+			for name := range want {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "corebench: unknown scenario(s): %s (use -scenario list)\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+	}
+
+	f, err := loadFile(*benchFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corebench:", err)
+		os.Exit(2)
+	}
+	if *recordBaseline && f.Baseline != nil {
+		fmt.Fprintf(os.Stderr, "corebench: %s already has a baseline; the baseline is fixed by policy\n", *benchFile)
+		os.Exit(2)
+	}
+
+	results := map[string]Metrics{}
+	fmt.Printf("%-12s %14s %14s %12s %10s %10s\n", "scenario", "ns/op", "B/op", "allocs/op", "speedup", "-allocs")
+	for _, s := range selected {
+		m := run(s)
+		if f.Baseline != nil {
+			if base, ok := f.Baseline.Scenarios[s.name]; ok && base.NsPerOp > 0 && m.NsPerOp > 0 {
+				m.SpeedupVsBaseline = float64(base.NsPerOp) / float64(m.NsPerOp)
+				if base.AllocsPerOp > 0 {
+					m.AllocReductionVsBaseline = 1 - float64(m.AllocsPerOp)/float64(base.AllocsPerOp)
+				}
+			}
+		}
+		results[s.name] = m
+		speedup, dealloc := "-", "-"
+		if m.SpeedupVsBaseline > 0 {
+			speedup = fmt.Sprintf("%.2fx", m.SpeedupVsBaseline)
+			dealloc = fmt.Sprintf("%.0f%%", m.AllocReductionVsBaseline*100)
+		}
+		fmt.Printf("%-12s %14d %14d %12d %10s %10s\n",
+			s.name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, speedup, dealloc)
+	}
+
+	failed := false
+	if *check {
+		ref := latestReference(f)
+		if ref == nil {
+			fmt.Fprintf(os.Stderr, "corebench: -check needs a recorded entry or baseline in %s\n", *benchFile)
+			os.Exit(2)
+		}
+		for _, s := range selected {
+			m := results[s.name]
+			r, ok := ref[s.name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "corebench: scenario %s has no recorded reference\n", s.name)
+				failed = true
+				continue
+			}
+			if *maxSlowdown > 0 && r.NsPerOp > 0 && float64(m.NsPerOp) > float64(r.NsPerOp)**maxSlowdown {
+				fmt.Fprintf(os.Stderr, "corebench: REGRESSION %s: %d ns/op exceeds recorded %d ns/op x %.2f\n",
+					s.name, m.NsPerOp, r.NsPerOp, *maxSlowdown)
+				failed = true
+			}
+			if *maxAllocGrowth > 0 && float64(m.AllocsPerOp) > float64(r.AllocsPerOp)**maxAllocGrowth {
+				fmt.Fprintf(os.Stderr, "corebench: REGRESSION %s: %d allocs/op exceeds recorded %d allocs/op x %.2f\n",
+					s.name, m.AllocsPerOp, r.AllocsPerOp, *maxAllocGrowth)
+				failed = true
+			}
+		}
+		if !failed {
+			fmt.Println("corebench: all scenarios within thresholds")
+		}
+	}
+
+	if *recordBaseline || *update {
+		e := Entry{
+			Date:      time.Now().Format("2006-01-02"),
+			PR:        *pr,
+			Note:      *note,
+			Scenarios: results,
+		}
+		if f.CPU == "" {
+			f.CPU = cpuModel()
+		}
+		if *recordBaseline {
+			// The baseline predates any speedup comparison by definition.
+			for name, m := range e.Scenarios {
+				m.SpeedupVsBaseline = 0
+				m.AllocReductionVsBaseline = 0
+				e.Scenarios[name] = m
+			}
+			f.Baseline = &e
+		} else {
+			f.Entries = append(f.Entries, e)
+		}
+		if err := saveFile(*benchFile, f); err != nil {
+			fmt.Fprintln(os.Stderr, "corebench:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("corebench: wrote %s\n", *benchFile)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -18,6 +18,7 @@ var docFiles = []string{
 	"docs/SERVER.md",
 	"docs/ARCHITECTURE.md",
 	"docs/OBSERVABILITY.md",
+	"docs/PERFORMANCE.md",
 }
 
 // fence is one fenced code block from a markdown file.
@@ -195,6 +196,30 @@ func TestDocGoSnippetsParse(t *testing.T) {
 	}
 	if parsed == 0 {
 		t.Error("no Go snippets found across the docs; extraction is likely broken")
+	}
+}
+
+// TestDocBenchFilesExist requires every BENCH_*.json file the docs
+// mention to exist at the repo root, so the documented benchmark
+// trajectories cannot dangle.
+func TestDocBenchFilesExist(t *testing.T) {
+	root := mustModuleRoot(t)
+	re := regexp.MustCompile(`BENCH_[A-Za-z0-9_]+\.json`)
+	found := 0
+	for _, doc := range docFiles {
+		data, err := os.ReadFile(filepath.Join(root, doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range re.FindAllString(string(data), -1) {
+			found++
+			if _, err := os.Stat(filepath.Join(root, name)); err != nil {
+				t.Errorf("%s mentions %s, which does not exist at the repo root", doc, name)
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no BENCH_*.json mentions found across the docs; extraction is likely broken")
 	}
 }
 

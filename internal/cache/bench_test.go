@@ -1,0 +1,52 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// benchLevels is the two-level geometry the FMM study replays against.
+func benchLevels() []machine.CacheLevel {
+	return []machine.CacheLevel{
+		{Name: "L1", Size: 32 << 10, LineSize: 64, Assoc: 8},
+		{Name: "L2", Size: 256 << 10, LineSize: 64, Assoc: 8},
+	}
+}
+
+// BenchmarkReplaySoA models the FMM trace replay: four parallel arrays
+// read 4 bytes at a time, record by record — the simulator's dominant
+// access pattern.
+func BenchmarkReplaySoA(b *testing.B) {
+	h, err := New(benchLevels())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 4096
+	bases := []uint64{0, 1 << 20, 2 << 20, 3 << 20}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := uint64(0); r < records; r++ {
+			for _, base := range bases {
+				h.Read(base+r*4, 4)
+			}
+		}
+	}
+}
+
+// BenchmarkReplayStream models a single sequential byte stream.
+func BenchmarkReplayStream(b *testing.B) {
+	h, err := New(benchLevels())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 16384
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := uint64(0); r < records; r++ {
+			h.Read(r*4, 4)
+		}
+	}
+}

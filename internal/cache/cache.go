@@ -9,6 +9,7 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/machine"
 )
@@ -60,6 +61,13 @@ type level struct {
 	ways  int
 	data  []line // sets × ways, row-major
 	stats LevelStats
+	// setMask replaces the per-access modulo when sets is a power of
+	// two (pow2Sets), the common geometry.
+	setMask  uint64
+	pow2Sets bool
+	// mru holds each set's most-recently-touched way, probed before the
+	// way scan — replay workloads hit the same way run after run.
+	mru []uint32
 }
 
 func newLevel(cfg machine.CacheLevel) *level {
@@ -70,30 +78,45 @@ func newLevel(cfg machine.CacheLevel) *level {
 		sets: sets,
 		ways: cfg.Assoc,
 		data: make([]line, lines),
+		mru:  make([]uint32, sets),
+	}
+	if sets&(sets-1) == 0 {
+		l.pow2Sets = true
+		l.setMask = sets - 1
 	}
 	l.stats.Name = cfg.Name
 	return l
+}
+
+// setIndex maps a line address to its set, by mask when the set count
+// is a power of two and by modulo otherwise — identical results, the
+// mask just skips the hardware divide on the dominant geometry.
+func (l *level) setIndex(lineAddr uint64) uint64 {
+	if l.pow2Sets {
+		return lineAddr & l.setMask
+	}
+	return lineAddr % l.sets
 }
 
 // access looks up lineAddr (already shifted to line granularity).
 // On a miss the line is installed (write-allocate); the return values
 // report whether it hit and whether a dirty victim was evicted.
 func (l *level) access(lineAddr uint64, write, demand bool, tick uint64) (hit bool, evicted bool, victim uint64) {
-	set := lineAddr % l.sets
+	set := l.setIndex(lineAddr)
 	base := int(set) * l.ways
 	ways := l.data[base : base+l.ways]
 	l.stats.Accesses++
+	// Probe the set's most-recently-used way before scanning: streaming
+	// and strided replays hit the same way repeatedly. A tag can live in
+	// at most one way, so hitting here is exactly the scan's outcome.
+	if m := int(l.mru[set]); m < len(ways) && ways[m].valid && ways[m].tag == lineAddr {
+		l.hitWay(&ways[m], write, tick)
+		return true, false, 0
+	}
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == lineAddr {
-			l.stats.Hits++
-			l.stats.BytesServed += uint64(l.cfg.LineSize)
-			if write {
-				l.stats.WriteHits++
-				ways[i].dirty = true
-			} else {
-				l.stats.ReadHits++
-			}
-			ways[i].used = tick
+			l.hitWay(&ways[i], write, tick)
+			l.mru[set] = uint32(i)
 			return true, false, 0
 		}
 	}
@@ -123,7 +146,21 @@ func (l *level) access(lineAddr uint64, write, demand bool, tick uint64) (hit bo
 		}
 	}
 	ways[vi] = line{tag: lineAddr, valid: true, dirty: write, used: tick}
+	l.mru[set] = uint32(vi)
 	return false, evicted, victim
+}
+
+// hitWay applies the counter and state updates of a hit on way w.
+func (l *level) hitWay(w *line, write bool, tick uint64) {
+	l.stats.Hits++
+	l.stats.BytesServed += uint64(l.cfg.LineSize)
+	if write {
+		l.stats.WriteHits++
+		w.dirty = true
+	} else {
+		l.stats.ReadHits++
+	}
+	w.used = tick
 }
 
 // Hierarchy is a stack of cache levels over DRAM.
@@ -131,6 +168,22 @@ type Hierarchy struct {
 	levels   []*level
 	lineSize uint64
 	tick     uint64
+
+	// lineShift is log2(lineSize) when the line size is a power of two,
+	// else -1; Access then splits requests by shift instead of divide.
+	lineShift int
+
+	// memo is a small direct-mapped table of innermost-level ways
+	// recently resolved by a full walk. Sub-line streaming replay (an
+	// SoA record read is several 4-byte accesses to each of a few
+	// parallel lines) short-circuits the whole level walk on a memo
+	// hit, applying exactly the counter updates of an L1 hit. Entries
+	// are hints, validated by tag on every use: a way holds full line
+	// addresses as tags, so tag == lineAddr proves the line is resident
+	// in that very way and a stale entry simply misses. Only Reset —
+	// which replaces the backing arrays the hints point into — must
+	// clear the table.
+	memo [memoSlots]*line
 
 	dramReadLines  uint64
 	dramWriteLines uint64
@@ -160,7 +213,10 @@ func New(levels []machine.CacheLevel) (*Hierarchy, error) {
 	if len(levels) == 0 {
 		return nil, errors.New("cache: need at least one level")
 	}
-	h := &Hierarchy{lineSize: uint64(levels[0].LineSize)}
+	h := &Hierarchy{lineSize: uint64(levels[0].LineSize), lineShift: -1}
+	if h.lineSize&(h.lineSize-1) == 0 {
+		h.lineShift = bits.TrailingZeros64(h.lineSize)
+	}
 	for i, cfg := range levels {
 		if cfg.Size <= 0 || cfg.LineSize <= 0 || cfg.Assoc <= 0 {
 			return nil, fmt.Errorf("cache: level %d (%s) has non-positive geometry", i, cfg.Name)
@@ -204,17 +260,46 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool) {
 	if size <= 0 {
 		return
 	}
-	first := addr / h.lineSize
-	last := (addr + uint64(size) - 1) / h.lineSize
+	var first, last uint64
+	if h.lineShift >= 0 {
+		first = addr >> h.lineShift
+		last = (addr + uint64(size) - 1) >> h.lineShift
+	} else {
+		first = addr / h.lineSize
+		last = (addr + uint64(size) - 1) / h.lineSize
+	}
 	for la := first; la <= last; la++ {
 		h.tick++
 		h.accessLine(la, write)
 	}
 }
 
+// memoSlots sizes the streaming memo: big enough that the handful of
+// parallel streams a structure-of-arrays replay interleaves usually
+// land in distinct slots, small enough to stay resident in L1.
+const memoSlots = 16
+
+// memoSlot hashes a line address to its memo slot (SplitMix64's
+// multiplicative constant; the top bits decorrelate the stride-sharing
+// base addresses of parallel arrays).
+func memoSlot(lineAddr uint64) int {
+	return int((lineAddr * 0x9e3779b97f4a7c15) >> 60)
+}
+
 func (h *Hierarchy) accessLine(lineAddr uint64, write bool) {
 	if write && h.writeThrough {
 		h.writeThroughLine(lineAddr)
+		return
+	}
+	// Streaming fast path: a recent walk resolved this line at the
+	// innermost level. The tag check proves residence in that exact way
+	// (tags are full line addresses), so this is an L1 hit — apply the
+	// identical counter updates without the level walk.
+	slot := memoSlot(lineAddr)
+	if w := h.memo[slot]; w != nil && w.valid && w.tag == lineAddr {
+		l := h.levels[0]
+		l.stats.Accesses++
+		l.hitWay(w, write, h.tick)
 		return
 	}
 	for i, l := range h.levels {
@@ -223,14 +308,27 @@ func (h *Hierarchy) accessLine(lineAddr uint64, write bool) {
 			h.writeback(i+1, victim)
 		}
 		if hit {
+			h.memoize(slot, lineAddr)
 			return
 		}
 	}
-	// Missed everywhere: line comes from DRAM.
+	// Missed everywhere: line comes from DRAM (and was installed at
+	// every level on the way down, innermost included).
+	h.memoize(slot, lineAddr)
 	h.dramReadLines++
 	if h.prefetch && !write {
 		h.prefetchLine(lineAddr + 1)
 	}
+}
+
+// memoize records which innermost-level way holds lineAddr. Called
+// right after a level walk resolved the line, when the innermost level
+// is guaranteed to hold it (a hit found it there, a deeper hit or full
+// miss write-allocated it there) and its mru entry points at that way.
+func (h *Hierarchy) memoize(slot int, lineAddr uint64) {
+	l := h.levels[0]
+	set := l.setIndex(lineAddr)
+	h.memo[slot] = &l.data[int(set)*l.ways+int(l.mru[set])]
 }
 
 // EnablePrefetch turns the outer-level next-line prefetcher on or off.
@@ -244,8 +342,10 @@ func (h *Hierarchy) PrefetchIssued() uint64 { return h.prefetchIssued }
 // statistics (but it is still DRAM traffic).
 func (h *Hierarchy) prefetchLine(lineAddr uint64) {
 	outer := h.levels[len(h.levels)-1]
-	// Probe without disturbing statistics: a silent lookup.
-	set := lineAddr % outer.sets
+	// Probe without disturbing statistics: a silent lookup. (With a
+	// single level this install can evict a memoized way; the memo's
+	// per-use tag validation turns that into a plain memo miss.)
+	set := outer.setIndex(lineAddr)
 	base := int(set) * outer.ways
 	ways := outer.data[base : base+outer.ways]
 	for i := range ways {
@@ -291,7 +391,7 @@ func (h *Hierarchy) prefetchLine(lineAddr uint64) {
 // not, and forward the store to DRAM unconditionally.
 func (h *Hierarchy) writeThroughLine(lineAddr uint64) {
 	for _, l := range h.levels {
-		set := lineAddr % l.sets
+		set := l.setIndex(lineAddr)
 		base := int(set) * l.ways
 		ways := l.data[base : base+l.ways]
 		l.stats.Accesses++
@@ -372,4 +472,5 @@ func (h *Hierarchy) Reset() {
 	h.dramReadLines = 0
 	h.dramWriteLines = 0
 	h.prefetchIssued = 0
+	h.memo = [memoSlots]*line{}
 }

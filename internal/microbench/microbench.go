@@ -11,6 +11,7 @@ import (
 	"repro/internal/powermon"
 	"repro/internal/regress"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -254,7 +255,12 @@ func Sweep(ctx context.Context, eng *sim.Engine, prec machine.Precision, cfg Swe
 			defer repSpan.End()
 			labels := []uint64{0, uint64(prec), uint64(gi), uint64(rep)}
 			labels[0] = sweepStream
-			r, err := eng.RunWithCtx(ctx, eng.DeriveRand(labels...), grid[gi].spec)
+			// Borrow the per-rep simulator stream from the pool: the seed
+			// (and so the stream) is exactly eng.DeriveRand(labels...)'s,
+			// without allocating a fresh ~5 KB rand state per repetition.
+			rng := stats.BorrowDerived(eng.Seed(), labels...)
+			r, err := eng.RunWithCtx(ctx, rng, grid[gi].spec)
+			rng.Release()
 			if err != nil {
 				return repMeasurement{}, err
 			}
@@ -262,12 +268,15 @@ func Sweep(ctx context.Context, eng *sim.Engine, prec machine.Precision, cfg Swe
 			if cfg.Monitor != nil {
 				labels[0] = monitorStream
 				_, monSpan := trace.Start(ctx, "powermon.integrate")
-				tr, err := cfg.Monitor.Fork(labels...).Measure(r, r.Duration)
+				// EnergyDerived is bit-identical to
+				// Fork(labels...).Measure(r, r.Duration).Energy() but
+				// integrates on the fly instead of materialising a trace.
+				e, err := cfg.Monitor.EnergyDerived(labels, r, r.Duration)
 				monSpan.End()
 				if err != nil {
 					return repMeasurement{}, err
 				}
-				m.e = float64(tr.Energy())
+				m.e = float64(e)
 			}
 			return m, nil
 		})

@@ -1,0 +1,45 @@
+package powermon_test
+
+import (
+	"fmt"
+
+	"repro/internal/powermon"
+	"repro/internal/units"
+)
+
+// steady is a device under test drawing constant power.
+type steady units.Watts
+
+func (s steady) PowerAt(units.Seconds) units.Watts { return units.Watts(s) }
+
+// Sampling a device and summarising the trace. Stats, AveragePower and
+// Energy share one fused integration pass over the samples, so asking
+// for all three costs a single traversal.
+func ExampleTrace_Stats() {
+	m, err := powermon.New(powermon.GPUChannels(), powermon.Config{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	tr, err := m.Measure(steady(150), 1.0)
+	if err != nil {
+		panic(err)
+	}
+	st, err := tr.Stats()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("samples: %d\n", len(tr.Samples))
+	fmt.Printf("mean: %.1f W\n", float64(st.MeanPower))
+	fmt.Printf("energy: %.1f J\n", float64(tr.Energy()))
+	for i, ch := range tr.Channels {
+		fmt.Printf("%s share: %.2f\n", ch.Name, st.ChannelShare[i])
+	}
+	// Output:
+	// samples: 128
+	// mean: 150.0 W
+	// energy: 150.0 J
+	// 12V-8pin share: 0.45
+	// 12V-6pin share: 0.30
+	// PCIe-12V share: 0.20
+	// PCIe-3.3V share: 0.05
+}

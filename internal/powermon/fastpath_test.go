@@ -1,0 +1,221 @@
+package powermon
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// The fused single-pass trace integration and the trace-free
+// EnergyDerived path replaced straightforward multi-pass code in the
+// hot loop. These tests pin the optimized paths bit-identical to the
+// pre-optimization reference implementations, reproduced verbatim
+// below: any regrouping of the floating-point arithmetic fails exact
+// equality.
+
+// naiveAveragePower is the pre-fusion AveragePower: a dedicated pass
+// summing Sample.Power.
+func naiveAveragePower(t *Trace) units.Watts {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range t.Samples {
+		sum += float64(t.Samples[i].Power())
+	}
+	return units.Watts(sum / float64(len(t.Samples)))
+}
+
+// naiveStats is the pre-fusion Stats: its own pass with a nested
+// per-channel accumulation.
+func naiveStats(t *Trace) TraceStats {
+	s := TraceStats{
+		ChannelMeanPower: make([]units.Watts, len(t.Channels)),
+		ChannelShare:     make([]float64, len(t.Channels)),
+	}
+	total := 0.0
+	for i := range t.Samples {
+		sm := &t.Samples[i]
+		p := float64(sm.Power())
+		total += p
+		if units.Watts(p) > s.PeakPower {
+			s.PeakPower = units.Watts(p)
+			s.PeakAt = sm.T
+		}
+		for c := range t.Channels {
+			s.ChannelMeanPower[c] += units.Watts(sm.Volts[c] * sm.Amps[c])
+		}
+	}
+	n := float64(len(t.Samples))
+	s.MeanPower = units.Watts(total / n)
+	for c := range s.ChannelMeanPower {
+		s.ChannelMeanPower[c] /= units.Watts(n)
+		s.ChannelShare[c] = float64(s.ChannelMeanPower[c]) / float64(s.MeanPower)
+	}
+	return s
+}
+
+// noisyMonitor builds a monitor with every imperfection enabled so the
+// comparison covers noise, gain error, and dropouts.
+func noisyMonitor(t *testing.T, seed int64) *Monitor {
+	t.Helper()
+	m, err := New(GPUChannels(), Config{
+		Seed:        seed,
+		RateHz:      512,
+		VoltNoiseSD: 0.002,
+		CurrNoiseSD: 0.01,
+		GainError: 0.01,
+		DropoutProb: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFusedIntegrationMatchesNaive(t *testing.T) {
+	m := noisyMonitor(t, 99)
+	for _, src := range []Source{constSource(180), rampSource{peak: 250, dur: 0.5}} {
+		tr, err := m.Measure(src, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAvg := naiveAveragePower(tr)
+		wantE := wantAvg.Mul(tr.Duration)
+		wantStats := naiveStats(tr)
+
+		// Exercise the memo in every call order.
+		if got := tr.AveragePower(); got != wantAvg {
+			t.Errorf("AveragePower = %v, want %v (bit-exact)", got, wantAvg)
+		}
+		if got := tr.Energy(); got != wantE {
+			t.Errorf("Energy = %v, want %v (bit-exact)", got, wantE)
+		}
+		st, err := tr.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.MeanPower != wantStats.MeanPower || st.PeakPower != wantStats.PeakPower || st.PeakAt != wantStats.PeakAt {
+			t.Errorf("Stats scalars = %+v, want %+v", st, wantStats)
+		}
+		for c := range st.ChannelMeanPower {
+			if st.ChannelMeanPower[c] != wantStats.ChannelMeanPower[c] {
+				t.Errorf("channel %d mean = %v, want %v", c, st.ChannelMeanPower[c], wantStats.ChannelMeanPower[c])
+			}
+			if st.ChannelShare[c] != wantStats.ChannelShare[c] {
+				t.Errorf("channel %d share = %v, want %v", c, st.ChannelShare[c], wantStats.ChannelShare[c])
+			}
+		}
+		// Second calls must serve the memo unchanged.
+		if got := tr.AveragePower(); got != wantAvg {
+			t.Errorf("memoized AveragePower = %v, want %v", got, wantAvg)
+		}
+		st2, _ := tr.Stats()
+		if st2.MeanPower != st.MeanPower || st2.PeakPower != st.PeakPower {
+			t.Error("second Stats call differs from first")
+		}
+	}
+}
+
+func TestEnergyDerivedMatchesForkMeasure(t *testing.T) {
+	m := noisyMonitor(t, 7)
+	src := rampSource{peak: 300, dur: 1}
+	for _, labels := range [][]uint64{
+		{0x504d4f4e, 0, 3, 17},
+		{1, 2, 3},
+		{42},
+	} {
+		want := func() units.Joules {
+			tr, err := m.Fork(labels...).Measure(src, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr.Energy()
+		}()
+		got, err := m.EnergyDerived(labels, src, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("labels %v: EnergyDerived = %v, want Fork.Measure.Energy %v (bit-exact)", labels, got, want)
+		}
+	}
+}
+
+func TestEnergyDerivedAfterCalibration(t *testing.T) {
+	// Calibration rewrites the trim factors; the derived path must see
+	// the same calibrated gains the fork path copies.
+	m, err := New(CPUChannels(), Config{Seed: 3, RateHz: 256, GainError: 0.05, VoltNoiseSD: 0.001, CurrNoiseSD: 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Calibrate(150, 2); err != nil {
+		t.Fatal(err)
+	}
+	labels := []uint64{9, 9, 9}
+	tr, err := m.Fork(labels...).Measure(constSource(150), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.EnergyDerived(labels, constSource(150), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tr.Energy() {
+		t.Errorf("calibrated EnergyDerived = %v, want %v", got, tr.Energy())
+	}
+}
+
+func TestEnergyDerivedErrors(t *testing.T) {
+	m := noisyMonitor(t, 1)
+	if _, err := m.EnergyDerived([]uint64{1}, constSource(1), 0); err == nil {
+		t.Error("non-positive duration accepted")
+	}
+	if _, err := m.EnergyDerived([]uint64{1}, constSource(1), 1e12); err == nil {
+		t.Error("sample-limit overflow accepted")
+	}
+	// Certain dropout: both paths must fail identically.
+	md, err := New(GPUChannels(), Config{Seed: 5, RateHz: 64, DropoutProb: 0.999999999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := md.EnergyDerived([]uint64{1}, constSource(1), 0.1); err == nil {
+		t.Error("total dropout produced an energy")
+	}
+}
+
+func TestMeasureSteadyStateAllocs(t *testing.T) {
+	// Measure preallocates one flat reading block per trace: a constant
+	// number of allocations however many samples a run takes.
+	m := noisyMonitor(t, 11)
+	var src Source = constSource(100) // box once: conversion inside the loop would count as an alloc
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := m.Measure(src, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Trace struct, sample slice, flat readings block, channel copy.
+	if allocs > 4 {
+		t.Errorf("Measure allocates %.1f objects per 512-sample trace, want <= 4", allocs)
+	}
+}
+
+func TestEnergyDerivedSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool intentionally drops entries under the race detector")
+	}
+	m := noisyMonitor(t, 13)
+	var src Source = constSource(100) // box once: conversion inside the loop would count as an alloc
+	labels := []uint64{1, 2, 3}
+	if _, err := m.EnergyDerived(labels, src, 1); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := m.EnergyDerived(labels, src, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("EnergyDerived allocates %.1f objects per call in steady state, want 0", allocs)
+	}
+}

@@ -236,7 +236,12 @@ func (s *Sample) Power() units.Watts {
 	return units.Watts(p)
 }
 
-// Trace is a complete measurement of one run.
+// Trace is a complete measurement of one run. A Trace integrates
+// itself lazily: the first call to AveragePower, Energy, or Stats makes
+// one fused pass over the samples and memoizes the sums, so asking for
+// all three costs one integration, not three. Mutating Samples in
+// place after that first call is not supported (append/truncate is
+// detected; in-place edits are not).
 type Trace struct {
 	// Channels are the monitored rails, in sample column order.
 	Channels []Channel
@@ -246,30 +251,87 @@ type Trace struct {
 	Duration units.Seconds
 	// Dropped counts samples the board failed to record.
 	Dropped int
+
+	// flat is the shared backing array the samples' Volts/Amps slices
+	// point into — one allocation per measurement instead of two per
+	// sample.
+	flat []float64
+	// sum is the memoized fused integration (nil until first use).
+	sum *traceSummary
 }
 
-// Measure samples the source for the given duration. The first sample
-// is taken at half a period (mid-interval sampling), the rest at the
-// channel rate.
-func (m *Monitor) Measure(src Source, duration units.Seconds) (*Trace, error) {
+// traceSummary holds the single-pass integration of a trace: the
+// running total, peak, and per-channel sums everything downstream
+// (AveragePower, Energy, Stats) is a cheap function of.
+type traceSummary struct {
+	nSamples int
+	total    float64
+	peak     float64
+	peakAt   units.Seconds
+	chanSum  []float64
+}
+
+// sampleCount validates the duration and returns the number of samples
+// a measurement takes plus the sampling period.
+func (m *Monitor) sampleCount(duration units.Seconds) (n int, period float64, err error) {
 	if duration <= 0 {
-		return nil, errors.New("powermon: non-positive duration")
+		return 0, 0, errors.New("powermon: non-positive duration")
 	}
-	period := 1 / m.cfg.RateHz
-	n := int(float64(duration) / period)
+	period = 1 / m.cfg.RateHz
+	n = int(float64(duration) / period)
 	if n < 1 {
 		n = 1
 	}
 	if n > m.cfg.MaxSamples {
-		return nil, fmt.Errorf("powermon: %d samples exceed limit %d; lower the rate or shorten the run", n, m.cfg.MaxSamples)
+		return 0, 0, fmt.Errorf("powermon: %d samples exceed limit %d; lower the rate or shorten the run", n, m.cfg.MaxSamples)
 	}
-	tr := &Trace{
-		Channels: append([]Channel(nil), m.channels...),
-		Samples:  make([]Sample, 0, n),
-		Duration: duration,
+	return n, period, nil
+}
+
+// errAllDropped is the every-sample-dropped failure, shared by the
+// trace and trace-free measurement paths.
+func errAllDropped() error {
+	return errors.New("powermon: every sample dropped; no measurement")
+}
+
+// Measure samples the source for the given duration. The first sample
+// is taken at half a period (mid-interval sampling), the rest at the
+// channel rate. The returned trace's per-sample readings share one
+// preallocated backing array sized from duration×rate, so a
+// measurement costs a constant number of allocations regardless of
+// sample count.
+func (m *Monitor) Measure(src Source, duration units.Seconds) (*Trace, error) {
+	tr := &Trace{}
+	if err := m.measureInto(m.rng, tr, src, duration); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// measureInto samples src into tr, reusing tr's backing storage when
+// its capacity suffices. The noise stream, sampling schedule, and
+// arithmetic are exactly Measure's — pooling buffers never reaches the
+// recorded values.
+func (m *Monitor) measureInto(rng *stats.Rand, tr *Trace, src Source, duration units.Seconds) error {
+	n, period, err := m.sampleCount(duration)
+	if err != nil {
+		return err
+	}
+	nc := len(m.channels)
+	tr.Channels = append(tr.Channels[:0], m.channels...)
+	tr.Duration = duration
+	tr.Dropped = 0
+	tr.sum = nil
+	if cap(tr.Samples) < n {
+		tr.Samples = make([]Sample, 0, n)
+	} else {
+		tr.Samples = tr.Samples[:0]
+	}
+	if need := 2 * n * nc; cap(tr.flat) < need {
+		tr.flat = make([]float64, need)
 	}
 	for i := 0; i < n; i++ {
-		if m.cfg.DropoutProb > 0 && m.rng.Float64() < m.cfg.DropoutProb {
+		if m.cfg.DropoutProb > 0 && rng.Float64() < m.cfg.DropoutProb {
 			tr.Dropped++
 			continue
 		}
@@ -278,23 +340,107 @@ func (m *Monitor) Measure(src Source, duration units.Seconds) (*Trace, error) {
 			ts = duration
 		}
 		truth := float64(src.PowerAt(ts))
+		off := 2 * len(tr.Samples) * nc
 		s := Sample{
 			T:     ts,
-			Volts: make([]float64, len(m.channels)),
-			Amps:  make([]float64, len(m.channels)),
+			Volts: tr.flat[off : off+nc : off+nc],
+			Amps:  tr.flat[off+nc : off+2*nc : off+2*nc],
 		}
 		for c, ch := range m.channels {
-			v := ch.NominalVolts * m.rng.RelNoise(m.cfg.VoltNoiseSD)
-			chanPower := truth * ch.Share * m.gain[c] * m.trim[c] * m.rng.RelNoise(m.cfg.CurrNoiseSD)
+			v := ch.NominalVolts * rng.RelNoise(m.cfg.VoltNoiseSD)
+			chanPower := truth * ch.Share * m.gain[c] * m.trim[c] * rng.RelNoise(m.cfg.CurrNoiseSD)
 			s.Volts[c] = v
 			s.Amps[c] = chanPower / v
 		}
 		tr.Samples = append(tr.Samples, s)
 	}
 	if len(tr.Samples) == 0 {
-		return nil, errors.New("powermon: every sample dropped; no measurement")
+		return errAllDropped()
 	}
-	return tr, nil
+	return nil
+}
+
+// EnergyDerived measures src for the given duration on an independent
+// noise stream derived from the monitor's seed and labels, and returns
+// the trace's integrated energy without materialising the trace. It is
+// the allocation-free fast path for sweeps that only need the energy:
+// the result is bit-identical to
+//
+//	m.Fork(labels...).Measure(src, duration).Energy()
+//
+// because the derived stream, the sampling schedule, and every
+// arithmetic operation match that pipeline exactly — readings are
+// integrated on the fly instead of stored. Like Fork, EnergyDerived
+// never touches the parent's sequential stream and is safe to call
+// concurrently (with distinct labels) as long as Calibrate does not run
+// at the same time.
+func (m *Monitor) EnergyDerived(labels []uint64, src Source, duration units.Seconds) (units.Joules, error) {
+	n, period, err := m.sampleCount(duration)
+	if err != nil {
+		return 0, err
+	}
+	rng := stats.BorrowDerived(m.cfg.Seed, labels...)
+	defer rng.Release()
+	total := 0.0
+	kept := 0
+	for i := 0; i < n; i++ {
+		if m.cfg.DropoutProb > 0 && rng.Float64() < m.cfg.DropoutProb {
+			continue
+		}
+		ts := units.Seconds((float64(i) + 0.5) * period)
+		if ts > duration {
+			ts = duration
+		}
+		truth := float64(src.PowerAt(ts))
+		p := 0.0
+		for c, ch := range m.channels {
+			v := ch.NominalVolts * rng.RelNoise(m.cfg.VoltNoiseSD)
+			chanPower := truth * ch.Share * m.gain[c] * m.trim[c] * rng.RelNoise(m.cfg.CurrNoiseSD)
+			// Mirror Measure + Sample.Power exactly: the stored amps are
+			// chanPower/v, and integration multiplies them back by v —
+			// v*(chanPower/v) is not chanPower in floating point.
+			a := chanPower / v
+			p += v * a
+		}
+		total += p
+		kept++
+	}
+	if kept == 0 {
+		return 0, errAllDropped()
+	}
+	return units.Watts(total / float64(kept)).Mul(duration), nil
+}
+
+// integrate runs (or returns the memoized) fused single pass over the
+// samples. The accumulation order matches the pre-fusion
+// AveragePower/Stats loops operation for operation, so the fused
+// results are bit-identical to integrating three times.
+func (t *Trace) integrate() *traceSummary {
+	if t.sum != nil && t.sum.nSamples == len(t.Samples) {
+		return t.sum
+	}
+	s := &traceSummary{
+		nSamples: len(t.Samples),
+		chanSum:  make([]float64, len(t.Channels)),
+	}
+	for i := range t.Samples {
+		sm := &t.Samples[i]
+		p := 0.0
+		for c := range sm.Volts {
+			pw := sm.Volts[c] * sm.Amps[c]
+			p += pw
+			if c < len(s.chanSum) {
+				s.chanSum[c] += pw
+			}
+		}
+		s.total += p
+		if p > s.peak {
+			s.peak = p
+			s.peakAt = sm.T
+		}
+	}
+	t.sum = s
+	return s
 }
 
 // AveragePower is the mean of the per-sample instantaneous powers.
@@ -302,11 +448,8 @@ func (t *Trace) AveragePower() units.Watts {
 	if len(t.Samples) == 0 {
 		return 0
 	}
-	sum := 0.0
-	for i := range t.Samples {
-		sum += float64(t.Samples[i].Power())
-	}
-	return units.Watts(sum / float64(len(t.Samples)))
+	s := t.integrate()
+	return units.Watts(s.total / float64(s.nSamples))
 }
 
 // Energy is the paper's estimator: average power times total time.
@@ -327,32 +470,25 @@ type TraceStats struct {
 }
 
 // Stats computes the trace summary. The peak sample is what Fig. 5's
-// "measured max power" points report.
+// "measured max power" points report. Stats shares the trace's fused
+// single-pass integration with AveragePower and Energy, so calling all
+// three walks the samples once; the returned slices are fresh copies
+// the caller may keep.
 func (t *Trace) Stats() (TraceStats, error) {
 	if len(t.Samples) == 0 {
 		return TraceStats{}, errors.New("powermon: empty trace")
 	}
+	sum := t.integrate()
 	s := TraceStats{
+		PeakPower:        units.Watts(sum.peak),
+		PeakAt:           sum.peakAt,
 		ChannelMeanPower: make([]units.Watts, len(t.Channels)),
 		ChannelShare:     make([]float64, len(t.Channels)),
 	}
-	total := 0.0
-	for i := range t.Samples {
-		sm := &t.Samples[i]
-		p := float64(sm.Power())
-		total += p
-		if units.Watts(p) > s.PeakPower {
-			s.PeakPower = units.Watts(p)
-			s.PeakAt = sm.T
-		}
-		for c := range t.Channels {
-			s.ChannelMeanPower[c] += units.Watts(sm.Volts[c] * sm.Amps[c])
-		}
-	}
-	n := float64(len(t.Samples))
-	s.MeanPower = units.Watts(total / n)
+	n := float64(sum.nSamples)
+	s.MeanPower = units.Watts(sum.total / n)
 	for c := range s.ChannelMeanPower {
-		s.ChannelMeanPower[c] /= units.Watts(n)
+		s.ChannelMeanPower[c] = units.Watts(sum.chanSum[c]) / units.Watts(n)
 		s.ChannelShare[c] = float64(s.ChannelMeanPower[c]) / float64(s.MeanPower)
 	}
 	return s, nil

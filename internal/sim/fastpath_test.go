@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// The pooled Run storage, the memoized tuning quality, and the
+// fold-state seed derivation replaced per-repetition allocations in the
+// hot loop. These tests pin the optimized paths bit-identical to the
+// pre-optimization behaviour: same noise streams, same records.
+
+func noisyEngine(t *testing.T, seed int64) *Engine {
+	t.Helper()
+	cfg := DefaultConfig(seed)
+	cfg.OutlierProb = 0.05
+	e, err := New(machine.GTX580(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func specForTest() KernelSpec {
+	return KernelSpec{W: 1e9, Q: 2.5e8, Precision: machine.Single}
+}
+
+func runsEqual(t *testing.T, got, want []*Run, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d runs, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if *got[i] != *want[i] {
+			t.Errorf("%s: run %d = %+v, want %+v (bit-exact)", label, i, *got[i], *want[i])
+		}
+	}
+}
+
+func TestRunRepeatedMatchesSequentialRun(t *testing.T) {
+	// RunRepeated writes into one pooled block; a plain Run loop on an
+	// identically seeded engine is the pre-optimization behaviour.
+	spec := specForTest()
+	got, err := noisyEngine(t, 42).RunRepeated(spec, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := noisyEngine(t, 42)
+	want := make([]*Run, 64)
+	for i := range want {
+		r, err := ref.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	runsEqual(t, got, want, "RunRepeated")
+}
+
+func TestRunRepeatedParallelMatchesDerivedRunWith(t *testing.T) {
+	// RunRepeatedParallel borrows pooled sources seeded by fold-state
+	// extension; the pre-optimization path derived each stream with
+	// DeriveRand(repStream, labels..., i) and allocated every Run.
+	spec := specForTest()
+	e := noisyEngine(t, 7)
+	labels := []uint64{3, 11}
+	want := make([]*Run, 32)
+	for i := range want {
+		rng := e.DeriveRand(append([]uint64{repStream, 3, 11}, uint64(i))...)
+		r, err := e.RunWith(rng, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := e.RunRepeatedParallel(context.Background(), spec, 32, workers, labels...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runsEqual(t, got, want, "RunRepeatedParallel")
+	}
+}
+
+func TestTuningQualityMemoTransparent(t *testing.T) {
+	e := noisyEngine(t, 1)
+	fresh := noisyEngine(t, 1)
+	tunings := []Tuning{
+		{},
+		e.OptimalTuning(),
+		{Threads: 64, BlockSize: 32, Unroll: 2, RequestsPerThread: 2},
+		{Threads: 8192, BlockSize: 512, Unroll: 16, RequestsPerThread: 8},
+	}
+	// Interleave repeatedly so every lookup pattern (miss, hit, evict,
+	// re-miss) occurs; each answer must equal a never-memoized engine's.
+	for round := 0; round < 3; round++ {
+		for _, tn := range tunings {
+			got := e.TuningQuality(tn)
+			want := fresh.TuningQuality(tn)
+			// fresh memoizes too; recompute it cold to be sure.
+			cold := noisyEngine(t, 1).TuningQuality(tn)
+			if got != want || got != cold {
+				t.Errorf("TuningQuality(%+v) = %v, want %v (cold %v)", tn, got, want, cold)
+			}
+		}
+	}
+}
+
+func TestBorrowedStreamMatchesDerived(t *testing.T) {
+	// The pooled source must replay exactly the stream a fresh
+	// DeriveRand yields for the same labels.
+	a := stats.DeriveRand(99, 1, 2, 3)
+	b := stats.BorrowDerived(99, 1, 2, 3)
+	defer b.Release()
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.NormFloat64(), b.NormFloat64(); av != bv {
+			t.Fatalf("draw %d: borrowed stream %v != derived stream %v", i, bv, av)
+		}
+	}
+}
+
+func TestExtendStateMatchesDeriveSeed(t *testing.T) {
+	for i := uint64(0); i < 50; i++ {
+		want := stats.DeriveSeed(7, repStream, 5, i)
+		state := stats.DeriveState(7, repStream)
+		state = stats.ExtendState(state, 5)
+		if got := int64(stats.ExtendState(state, i)); got != want {
+			t.Fatalf("fold-state seed %d != DeriveSeed %d", got, want)
+		}
+	}
+}
+
+func TestRunWithSteadyStateAllocs(t *testing.T) {
+	e := noisyEngine(t, 5)
+	spec := specForTest()
+	rng := stats.NewRand(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := e.RunWith(rng, spec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One Run record per call; everything else is stack or memoized.
+	if allocs > 1 {
+		t.Errorf("RunWith allocates %.1f objects per run, want <= 1", allocs)
+	}
+}
+
+func TestRunRepeatedAllocs(t *testing.T) {
+	e := noisyEngine(t, 5)
+	spec := specForTest()
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := e.RunRepeated(spec, 64); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One Run block and one pointer slice per call, however many reps.
+	if allocs > 2 {
+		t.Errorf("RunRepeated(64) allocates %.1f objects per call, want <= 2", allocs)
+	}
+}
+
+func TestRunRepeatedParallelAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool intentionally drops entries under the race detector")
+	}
+	e := noisyEngine(t, 5)
+	spec := specForTest()
+	ctx := context.Background()
+	if _, err := e.RunRepeatedParallel(ctx, spec, 64, 1); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := e.RunRepeatedParallel(ctx, spec, 64, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Run block + pointer slice + the inline worker's bookkeeping; the
+	// point is the absence of the former per-rep rand state (~5 KB each).
+	if allocs > 8 {
+		t.Errorf("RunRepeatedParallel(64) allocates %.1f objects per call, want <= 8", allocs)
+	}
+}

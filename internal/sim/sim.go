@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/machine"
 	"repro/internal/parallel"
@@ -100,6 +101,16 @@ type Engine struct {
 	cfg  Config
 	rng  *stats.Rand
 	resp tuningResponse
+	// qual memoizes the last TuningQuality lookup. Sweeps and repeated
+	// runs evaluate the same tuning thousands of times; one atomic
+	// entry captures that locality without a map or a lock.
+	qual atomic.Pointer[qualEntry]
+}
+
+// qualEntry is one memoized (tuning, quality) pair.
+type qualEntry struct {
+	t Tuning
+	q float64
 }
 
 // New builds an engine for machine m. The machine must validate.
@@ -160,12 +171,19 @@ func responseFor(m *machine.Machine) tuningResponse {
 // machine's best achievable throughput this tuning reaches. Quality is
 // 1 exactly at the machine's optimum and decays smoothly (per-parameter
 // Gaussian in log2 distance), so a grid search or hill climb converges.
+// The most recent result is memoized on the engine (quality is a pure
+// function of the tuning), so repeated runs at one tuning skip the
+// eight Log2/Exp evaluations; the memo is safe under concurrent RunWith.
 func (e *Engine) TuningQuality(t Tuning) float64 {
-	t = withDefaults(t, e.resp)
-	q := logDistQuality(t.Threads, e.resp.optThreads, 0.08)
-	q *= logDistQuality(t.BlockSize, e.resp.optBlock, 0.05)
-	q *= logDistQuality(t.Unroll, e.resp.optUnroll, 0.03)
-	q *= logDistQuality(t.RequestsPerThread, e.resp.optReqs, 0.03)
+	if c := e.qual.Load(); c != nil && c.t == t {
+		return c.q
+	}
+	d := withDefaults(t, e.resp)
+	q := logDistQuality(d.Threads, e.resp.optThreads, 0.08)
+	q *= logDistQuality(d.BlockSize, e.resp.optBlock, 0.05)
+	q *= logDistQuality(d.Unroll, e.resp.optUnroll, 0.03)
+	q *= logDistQuality(d.RequestsPerThread, e.resp.optReqs, 0.03)
+	e.qual.Store(&qualEntry{t: t, q: q})
 	return q
 }
 
@@ -267,18 +285,31 @@ func (e *Engine) DeriveRand(labels ...uint64) *stats.Rand {
 }
 
 // RunWith is Run with an explicit noise source. It reads only immutable
-// engine state, so it is safe for concurrent use as long as each
-// goroutine brings its own rng (see DeriveRand).
+// engine state (plus the lock-free tuning-quality memo), so it is safe
+// for concurrent use as long as each goroutine brings its own rng (see
+// DeriveRand).
 func (e *Engine) RunWith(rng *stats.Rand, spec KernelSpec) (*Run, error) {
+	r := new(Run)
+	if err := e.runInto(rng, spec, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// runInto is RunWith writing the record into caller-provided storage,
+// letting RunRepeated/RunRepeatedParallel allocate one Run block per
+// call instead of one Run per repetition. The noise draws and
+// arithmetic are exactly RunWith's.
+func (e *Engine) runInto(rng *stats.Rand, spec KernelSpec, out *Run) error {
 	if spec.W < 0 || spec.Q < 0 || spec.W+spec.Q == 0 {
-		return nil, fmt.Errorf("sim: kernel must have non-negative W, Q with W+Q > 0 (got W=%g Q=%g)", spec.W, spec.Q)
+		return fmt.Errorf("sim: kernel must have non-negative W, Q with W+Q > 0 (got W=%g Q=%g)", spec.W, spec.Q)
 	}
 	s := spec.FreqScale
 	if s == 0 {
 		s = 1
 	}
 	if s <= 0 || s > 1 {
-		return nil, fmt.Errorf("sim: frequency scale %g outside (0, 1]", s)
+		return fmt.Errorf("sim: frequency scale %g outside (0, 1]", s)
 	}
 
 	pp := e.m.Params(spec.Precision)
@@ -333,7 +364,7 @@ func (e *Engine) RunWith(rng *stats.Rand, spec KernelSpec) (*Run, error) {
 			obsT = stretched
 		}
 	}
-	return &Run{
+	*out = Run{
 		Spec:          spec,
 		Duration:      units.Seconds(obsT),
 		Energy:        units.Joules(obsE),
@@ -346,7 +377,8 @@ func (e *Engine) RunWith(rng *stats.Rand, spec KernelSpec) (*Run, error) {
 		Throttled:     throttled,
 		Outlier:       outlier,
 		ripplePeriods: 8,
-	}, nil
+	}
+	return nil
 }
 
 // RunWithCtx is RunWith under a context: when ctx carries a
@@ -356,6 +388,11 @@ func (e *Engine) RunWith(rng *stats.Rand, spec KernelSpec) (*Run, error) {
 // simulation itself is identical to RunWith; tracing never touches the
 // noise stream, so traced and untraced runs produce the same record.
 func (e *Engine) RunWithCtx(ctx context.Context, rng *stats.Rand, spec KernelSpec) (*Run, error) {
+	if trace.FromContext(ctx) == nil {
+		// Fast path: no tracer installed. One context lookup, then the
+		// plain run — no span start/end or tag bookkeeping.
+		return e.RunWith(rng, spec)
+	}
 	_, sp := trace.Start(ctx, "sim.run")
 	r, err := e.RunWith(rng, spec)
 	if sp != nil && err == nil {
@@ -366,18 +403,21 @@ func (e *Engine) RunWithCtx(ctx context.Context, rng *stats.Rand, spec KernelSpe
 }
 
 // RunRepeated executes the kernel reps times (the paper runs each
-// benchmark 100 times) and returns all records.
+// benchmark 100 times) and returns all records. The records share one
+// preallocated block, so a repeated run costs two allocations however
+// large reps is; each returned *Run is still independently valid for
+// the block's lifetime.
 func (e *Engine) RunRepeated(spec KernelSpec, reps int) ([]*Run, error) {
 	if reps < 1 {
 		return nil, errors.New("sim: reps must be >= 1")
 	}
+	runs := make([]Run, reps)
 	out := make([]*Run, reps)
-	for i := range out {
-		r, err := e.Run(spec)
-		if err != nil {
+	for i := range runs {
+		if err := e.runInto(e.rng, spec, &runs[i]); err != nil {
 			return nil, err
 		}
-		out[i] = r
+		out[i] = &runs[i]
 	}
 	return out, nil
 }
@@ -398,11 +438,31 @@ func (e *Engine) RunRepeatedParallel(ctx context.Context, spec KernelSpec, reps,
 	if reps < 1 {
 		return nil, errors.New("sim: reps must be >= 1")
 	}
-	base := append([]uint64{repStream}, labels...)
-	return parallel.Map(ctx, reps, workers, func(_ context.Context, i int) (*Run, error) {
-		rng := e.DeriveRand(append(base[:len(base):len(base)], uint64(i))...)
-		return e.RunWith(rng, spec)
+	// Fold the shared label prefix once; each repetition extends the
+	// fold with its index and borrows a pooled source seeded from the
+	// result — the same seed DeriveRand(repStream, labels..., i) yields,
+	// without a label slice or a ~5 KB rand state per rep. Records land
+	// in one shared block at their rep index, so the output is identical
+	// at any worker count.
+	state := stats.DeriveState(e.cfg.Seed, repStream)
+	for _, l := range labels {
+		state = stats.ExtendState(state, l)
+	}
+	runs := make([]Run, reps)
+	out := make([]*Run, reps)
+	err := parallel.ForEach(ctx, reps, workers, func(_ context.Context, i int) error {
+		rng := stats.BorrowRand(int64(stats.ExtendState(state, uint64(i))))
+		defer rng.Release()
+		if err := e.runInto(rng, spec, &runs[i]); err != nil {
+			return err
+		}
+		out[i] = &runs[i]
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Aggregate summarises repeated runs into mean observed time, energy

@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // ErrEmpty is returned by reducers that require at least one sample.
@@ -200,17 +201,64 @@ func SplitMix64(x uint64) uint64 {
 // a parallel sweep hand every task its own noise stream while staying
 // byte-identical to the sequential run at any worker count.
 func DeriveSeed(base int64, labels ...uint64) int64 {
+	return int64(DeriveState(base, labels...))
+}
+
+// DeriveState is DeriveSeed's fold exposed as reusable state: it folds
+// the base seed and labels and returns the running SplitMix64 state.
+// Hot loops that derive one stream per iteration fold the shared label
+// prefix once, then extend per iteration with ExtendState — no label
+// slice per derivation. ExtendState(DeriveState(b, l...), x) equals
+// uint64(DeriveSeed(b, append(l, x)...)) exactly.
+func DeriveState(base int64, labels ...uint64) uint64 {
 	x := SplitMix64(uint64(base))
 	for _, l := range labels {
 		x = SplitMix64(x ^ l)
 	}
-	return int64(x)
+	return x
+}
+
+// ExtendState folds one more label into a DeriveState fold.
+func ExtendState(state, label uint64) uint64 {
+	return SplitMix64(state ^ label)
 }
 
 // DeriveRand returns a fresh random source seeded by DeriveSeed — the
 // one-call form of "give this task its own stream".
 func DeriveRand(base int64, labels ...uint64) *Rand {
 	return NewRand(DeriveSeed(base, labels...))
+}
+
+// randPool recycles Rand storage. math/rand's default source carries a
+// ~5 KB state array, so allocating one per derived stream is the single
+// largest allocation in a parallel sweep; reseeding a recycled source
+// rebuilds the exact same deterministic state without the allocation.
+var randPool = sync.Pool{
+	New: func() any { return &Rand{rand.New(rand.NewSource(0))} },
+}
+
+// BorrowRand returns a pooled random source reseeded for the given
+// seed. The stream is bit-identical to NewRand(seed) — reseeding fully
+// reinitialises the source — so pooling is invisible to determinism;
+// only the backing storage is reused. Call Release when the stream is
+// done; a borrowed Rand must not be used after Release.
+func BorrowRand(seed int64) *Rand {
+	r := randPool.Get().(*Rand)
+	r.Rand.Seed(seed)
+	return r
+}
+
+// BorrowDerived is BorrowRand(DeriveSeed(base, labels...)): the pooled
+// form of DeriveRand for hot loops that create one stream per task.
+func BorrowDerived(base int64, labels ...uint64) *Rand {
+	return BorrowRand(DeriveSeed(base, labels...))
+}
+
+// Release returns the Rand's storage to the pool. It is safe to release
+// a Rand created by NewRand or DeriveRand too; the next borrower
+// reseeds it before use.
+func (r *Rand) Release() {
+	randPool.Put(r)
 }
 
 // HashLabel condenses a string (a machine key, a rail name) into a
