@@ -38,6 +38,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/fmm"
@@ -107,6 +108,11 @@ func scenarios() []scenario {
 			fn:   benchSingleRun,
 		},
 		{
+			name: "segment_replay",
+			desc: "cache.ReplaySegments: streaming, SoA resident sweeps, and strided fallback on the gtx580 hierarchy",
+			fn:   benchSegmentReplay,
+		},
+		{
 			name: "sweep_64rep",
 			desc: "microbench.Sweep: 5 intensities x 64 reps through the 1024 Hz power monitor",
 			fn:   benchSweep64,
@@ -137,6 +143,36 @@ func benchSingleRun(b *testing.B) {
 		if _, err := eng.RunWith(rng, spec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func benchSegmentReplay(b *testing.B) {
+	h, err := cache.FromMachine(machine.GTX580())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Three regimes per iteration: a long streaming pass (line
+	// chunking), repeated sweeps over an L1-resident SoA block (the
+	// closed-form path), and a wide-strided read-modify-write walk
+	// (single-line rounds, residency fallback pressure).
+	stream := cache.Segment{Base: 0, Stride: 4, Count: 1 << 16, Size: 4}
+	soa := []cache.Segment{
+		{Base: 1 << 30, Stride: 4, Count: 512, Size: 4},
+		{Base: 2 << 30, Stride: 4, Count: 512, Size: 4},
+		{Base: 3 << 30, Stride: 4, Count: 512, Size: 4},
+		{Base: 4 << 30, Stride: 4, Count: 512, Size: 4, Write: true},
+	}
+	strided := []cache.Segment{
+		{Base: 5 << 30, Stride: 192, Count: 4096, Size: 8},
+		{Base: 5 << 30, Stride: 192, Count: 4096, Size: 8, Write: true},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		h.AccessSegment(stream)
+		h.ReplaySegments(soa, 64)
+		h.ReplaySegments(strided, 2)
 	}
 }
 

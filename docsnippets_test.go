@@ -199,6 +199,133 @@ func TestDocGoSnippetsParse(t *testing.T) {
 	}
 }
 
+// corebenchScenarioNames parses the pinned scenario names out of
+// cmd/corebench's source, so doc checks track the real list.
+func corebenchScenarioNames(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(root, "cmd", "corebench", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`name:\s*"([a-z0-9_]+)"`)
+	names := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+		names[m[1]] = true
+	}
+	if len(names) == 0 {
+		t.Fatal("no scenario names parsed from cmd/corebench/main.go; extraction is likely broken")
+	}
+	return names
+}
+
+// TestDocCorebenchScenariosExist verifies that every -scenario argument
+// a documented corebench command passes names a scenario the binary
+// actually pins, and that the scenario table in docs/PERFORMANCE.md
+// covers every pinned scenario.
+func TestDocCorebenchScenariosExist(t *testing.T) {
+	root := mustModuleRoot(t)
+	names := corebenchScenarioNames(t, root)
+	checked := 0
+	for _, doc := range docFiles {
+		for _, f := range fences(t, filepath.Join(root, doc)) {
+			if f.lang != "sh" && f.lang != "bash" {
+				continue
+			}
+			for _, cmd := range shellCommands(f.text) {
+				if !strings.Contains(cmd, "cmd/corebench") {
+					continue
+				}
+				fields := strings.Fields(cmd)
+				for i, tok := range fields {
+					if strings.HasPrefix(tok, "#") {
+						break // trailing shell comment
+					}
+					if strings.TrimLeft(tok, "-") != "scenario" || i+1 >= len(fields) {
+						continue
+					}
+					arg := fields[i+1]
+					if arg == "all" || arg == "list" {
+						continue
+					}
+					for _, name := range strings.Split(arg, ",") {
+						checked++
+						if !names[strings.TrimSpace(name)] {
+							t.Errorf("%s (fence at line %d): `%s` names unknown corebench scenario %q",
+								doc, f.lineN, cmd, name)
+						}
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("no -scenario arguments found in documented corebench commands; extraction is likely broken")
+	}
+	perf, err := os.ReadFile(filepath.Join(root, "docs", "PERFORMANCE.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range names {
+		if !strings.Contains(string(perf), "`"+name+"`") {
+			t.Errorf("docs/PERFORMANCE.md does not document corebench scenario `%s`", name)
+		}
+	}
+}
+
+// TestDocGodocExamplesExist requires every ExampleXxx identifier the
+// docs mention to exist as a godoc example function somewhere in the
+// repository's test sources.
+func TestDocGodocExamplesExist(t *testing.T) {
+	root := mustModuleRoot(t)
+	re := regexp.MustCompile(`\bExample[A-Z]\w*\b`)
+	wanted := map[string][]string{}
+	for _, doc := range docFiles {
+		data, err := os.ReadFile(filepath.Join(root, doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range re.FindAllString(string(data), -1) {
+			wanted[name] = append(wanted[name], doc)
+		}
+	}
+	if len(wanted) == 0 {
+		t.Skip("no godoc example mentions in the docs")
+	}
+	defined := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for name := range wanted {
+			if strings.Contains(string(data), "func "+name+"(") {
+				defined[name] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, docs := range wanted {
+		if !defined[name] {
+			t.Errorf("%s mention godoc example %s, which no _test.go defines", strings.Join(docs, ", "), name)
+		}
+	}
+}
+
 // TestDocBenchFilesExist requires every BENCH_*.json file the docs
 // mention to exist at the repo root, so the documented benchmark
 // trajectories cannot dangle.

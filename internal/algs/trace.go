@@ -63,10 +63,8 @@ func TraceReduction(n, zWords int) (TraceResult, error) {
 	if err != nil {
 		return TraceResult{}, err
 	}
-	const base = 0
-	for i := 0; i < n; i++ {
-		h.Read(base+uint64(i)*wordSize, wordSize)
-	}
+	// The stream is one bulk segment: n sequential word reads.
+	h.AccessSegment(cache.Segment{Base: 0, Stride: wordSize, Count: n, Size: wordSize})
 	model := Reduction{}.Traffic(float64(n), float64(zWords)) * wordSize
 	return TraceResult{
 		Algorithm:      "reduction",
@@ -110,26 +108,32 @@ func TraceMatMul(n, zWords int) (TraceResult, error) {
 		return base + (uint64(row)*uint64(n)+uint64(col))*wordSize
 	}
 	nb := (n + b - 1) / b
+	// Segment scratch reused across the loop nest. An element-interleaved
+	// group of a Count-1 segment followed by a Count-m segment replays as
+	// the first segment's single access and then the second's m accesses
+	// in order — exactly the scalar A-element-then-B-row sequence; the
+	// read/write pair over a C row interleaves per element the same way.
+	var grp [2]cache.Segment
 	for bi := 0; bi < nb; bi++ {
 		for bj := 0; bj < nb; bj++ {
 			for bk := 0; bk < nb; bk++ {
 				i1 := min(n, (bi+1)*b)
 				j1 := min(n, (bj+1)*b)
 				k1 := min(n, (bk+1)*b)
+				jn := j1 - bj*b
 				for i := bi * b; i < i1; i++ {
 					for k := bk * b; k < k1; k++ {
-						h.Read(idx(baseA, i, k), wordSize)
-						for j := bj * b; j < j1; j++ {
-							h.Read(idx(baseB, k, j), wordSize)
-						}
+						grp[0] = cache.Segment{Base: idx(baseA, i, k), Stride: wordSize, Count: 1, Size: wordSize}
+						grp[1] = cache.Segment{Base: idx(baseB, k, bj*b), Stride: wordSize, Count: jn, Size: wordSize}
+						h.ReplaySegments(grp[:], 1)
 					}
 				}
 				// C block touched once per (bi, bj, bk): read+write.
 				for i := bi * b; i < i1; i++ {
-					for j := bj * b; j < j1; j++ {
-						h.Read(idx(baseC, i, j), wordSize)
-						h.Write(idx(baseC, i, j), wordSize)
-					}
+					row := idx(baseC, i, bj*b)
+					grp[0] = cache.Segment{Base: row, Stride: wordSize, Count: jn, Size: wordSize}
+					grp[1] = cache.Segment{Base: row, Stride: wordSize, Count: jn, Size: wordSize, Write: true}
+					h.ReplaySegments(grp[:], 1)
 				}
 			}
 		}
@@ -162,18 +166,26 @@ func TraceStencil(n, zWords int) (TraceResult, error) {
 	idx := func(base uint64, x, y, z int) uint64 {
 		return base + ((uint64(z)*uint64(n)+uint64(y))*uint64(n)+uint64(x))*wordSize
 	}
+	// Per inner row, the seven reads and the write become eight
+	// word-strided segments interleaved over x, reproducing the scalar
+	// per-point order: centre, x∓1, y∓1, z∓1, write.
+	var grp [8]cache.Segment
 	for z := 1; z < n-1; z++ {
 		for y := 1; y < n-1; y++ {
-			for x := 1; x < n-1; x++ {
-				h.Read(idx(baseIn, x, y, z), wordSize)
-				h.Read(idx(baseIn, x-1, y, z), wordSize)
-				h.Read(idx(baseIn, x+1, y, z), wordSize)
-				h.Read(idx(baseIn, x, y-1, z), wordSize)
-				h.Read(idx(baseIn, x, y+1, z), wordSize)
-				h.Read(idx(baseIn, x, y, z-1), wordSize)
-				h.Read(idx(baseIn, x, y, z+1), wordSize)
-				h.Write(idx(baseOut, x, y, z), wordSize)
+			xs := n - 2
+			for gi, base := range [...]uint64{
+				idx(baseIn, 1, y, z),
+				idx(baseIn, 0, y, z),
+				idx(baseIn, 2, y, z),
+				idx(baseIn, 1, y-1, z),
+				idx(baseIn, 1, y+1, z),
+				idx(baseIn, 1, y, z-1),
+				idx(baseIn, 1, y, z+1),
+			} {
+				grp[gi] = cache.Segment{Base: base, Stride: wordSize, Count: xs, Size: wordSize}
 			}
+			grp[7] = cache.Segment{Base: idx(baseOut, 1, y, z), Stride: wordSize, Count: xs, Size: wordSize, Write: true}
+			h.ReplaySegments(grp[:], 1)
 		}
 	}
 	model := Stencil{}.Traffic(float64(n), float64(zWords)) * wordSize

@@ -1,0 +1,139 @@
+package algs
+
+import (
+	"math"
+	"testing"
+)
+
+// The scalar reference replays below are the pre-segment word-at-a-time
+// loops, preserved verbatim. The segment-based trace functions must
+// produce bit-identical simulated traffic on the same hierarchy.
+
+func refTraceReductionBytes(t *testing.T, n, zWords int) float64 {
+	t.Helper()
+	h, err := traceCache(zWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		h.Read(uint64(i)*wordSize, wordSize)
+	}
+	return float64(h.DRAMBytes())
+}
+
+func refTraceMatMulBytes(t *testing.T, n, zWords int) float64 {
+	t.Helper()
+	b := int(math.Sqrt(float64(zWords) / 3))
+	if b > n {
+		b = n
+	}
+	if b < 1 {
+		b = 1
+	}
+	h, err := traceCache(zWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		baseA = 0
+		baseB = 1 << 34
+		baseC = 2 << 34
+	)
+	idx := func(base uint64, row, col int) uint64 {
+		return base + (uint64(row)*uint64(n)+uint64(col))*wordSize
+	}
+	nb := (n + b - 1) / b
+	for bi := 0; bi < nb; bi++ {
+		for bj := 0; bj < nb; bj++ {
+			for bk := 0; bk < nb; bk++ {
+				i1 := min(n, (bi+1)*b)
+				j1 := min(n, (bj+1)*b)
+				k1 := min(n, (bk+1)*b)
+				for i := bi * b; i < i1; i++ {
+					for k := bk * b; k < k1; k++ {
+						h.Read(idx(baseA, i, k), wordSize)
+						for j := bj * b; j < j1; j++ {
+							h.Read(idx(baseB, k, j), wordSize)
+						}
+					}
+				}
+				for i := bi * b; i < i1; i++ {
+					for j := bj * b; j < j1; j++ {
+						h.Read(idx(baseC, i, j), wordSize)
+						h.Write(idx(baseC, i, j), wordSize)
+					}
+				}
+			}
+		}
+	}
+	return float64(h.DRAMBytes())
+}
+
+func refTraceStencilBytes(t *testing.T, n, zWords int) float64 {
+	t.Helper()
+	h, err := traceCache(zWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		baseIn  = 0
+		baseOut = 1 << 34
+	)
+	idx := func(base uint64, x, y, z int) uint64 {
+		return base + ((uint64(z)*uint64(n)+uint64(y))*uint64(n)+uint64(x))*wordSize
+	}
+	for z := 1; z < n-1; z++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				h.Read(idx(baseIn, x, y, z), wordSize)
+				h.Read(idx(baseIn, x-1, y, z), wordSize)
+				h.Read(idx(baseIn, x+1, y, z), wordSize)
+				h.Read(idx(baseIn, x, y-1, z), wordSize)
+				h.Read(idx(baseIn, x, y+1, z), wordSize)
+				h.Read(idx(baseIn, x, y, z-1), wordSize)
+				h.Read(idx(baseIn, x, y, z+1), wordSize)
+				h.Write(idx(baseOut, x, y, z), wordSize)
+			}
+		}
+	}
+	return float64(h.DRAMBytes())
+}
+
+// TestTraceMatchesWordReplay pins the segment-based kernel replays to
+// the scalar loops across sizes that exercise resident, capacity-bound,
+// and ragged-block regimes.
+func TestTraceMatchesWordReplay(t *testing.T) {
+	for _, n := range []int{1, 63, 1000, 20000} {
+		for _, z := range []int{64, 1024, 16384} {
+			r, err := TraceReduction(n, z)
+			if err != nil {
+				t.Fatalf("reduction n=%d z=%d: %v", n, z, err)
+			}
+			if want := refTraceReductionBytes(t, n, z); r.SimulatedBytes != want {
+				t.Errorf("reduction n=%d z=%d: simulated %v, scalar %v", n, z, r.SimulatedBytes, want)
+			}
+		}
+	}
+	for _, n := range []int{4, 17, 48, 96} {
+		for _, z := range []int{192, 1024, 8192} {
+			r, err := TraceMatMul(n, z)
+			if err != nil {
+				t.Fatalf("matmul n=%d z=%d: %v", n, z, err)
+			}
+			if want := refTraceMatMulBytes(t, n, z); r.SimulatedBytes != want {
+				t.Errorf("matmul n=%d z=%d: simulated %v, scalar %v", n, z, r.SimulatedBytes, want)
+			}
+		}
+	}
+	for _, n := range []int{3, 9, 24, 40} {
+		for _, z := range []int{64, 1024, 16384} {
+			r, err := TraceStencil(n, z)
+			if err != nil {
+				t.Fatalf("stencil n=%d z=%d: %v", n, z, err)
+			}
+			if want := refTraceStencilBytes(t, n, z); r.SimulatedBytes != want {
+				t.Errorf("stencil n=%d z=%d: simulated %v, scalar %v", n, z, r.SimulatedBytes, want)
+			}
+		}
+	}
+}

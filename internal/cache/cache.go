@@ -198,6 +198,15 @@ type Hierarchy struct {
 	// every store is forwarded to DRAM, hits update the caches in
 	// place, and write misses install nothing.
 	writeThrough bool
+
+	// Bulk-replay scratch (see segment.go), kept on the hierarchy so
+	// AccessSegment/ReplaySegments allocate nothing in steady state.
+	// All of it is transient within one call; none survives into the
+	// observable simulation state.
+	segScratch []Segment
+	segLA      []uint64
+	segWays    []segWay
+	segRec     sweepRecord
 }
 
 // SetWriteThrough selects the store policy: write-through with
@@ -434,6 +443,14 @@ func (h *Hierarchy) writeback(idx int, lineAddr uint64) {
 	}
 }
 
+// NumLevels returns the number of cache levels in the hierarchy.
+func (h *Hierarchy) NumLevels() int { return len(h.levels) }
+
+// Level returns a copy of one level's counters (0 = innermost),
+// letting callers read per-level statistics without the slice
+// allocation of Stats.
+func (h *Hierarchy) Level(i int) LevelStats { return h.levels[i].stats }
+
 // Stats returns a copy of the per-level counters, innermost first.
 func (h *Hierarchy) Stats() []LevelStats {
 	out := make([]LevelStats, len(h.levels))
@@ -465,8 +482,10 @@ func (h *Hierarchy) CacheBytes() uint64 {
 
 // Reset clears all cache contents and counters.
 func (h *Hierarchy) Reset() {
-	for i, l := range h.levels {
-		h.levels[i] = newLevel(l.cfg)
+	for _, l := range h.levels {
+		clear(l.data)
+		clear(l.mru)
+		l.stats = LevelStats{Name: l.cfg.Name}
 	}
 	h.tick = 0
 	h.dramReadLines = 0

@@ -1,0 +1,449 @@
+// Bulk segment replay: strided access runs are simulated one cache
+// line at a time instead of one word at a time, and repeated sweeps
+// over a block proven resident in the innermost level are applied as
+// closed-form counter updates. Every counter, line state, and LRU
+// timestamp is exactly what the word-at-a-time walk would produce; the
+// fast paths fall back to the exact scalar walk whenever that
+// equivalence cannot be proven locally (line-straddling elements,
+// failed residency checks, write-through stores).
+
+package cache
+
+// Segment describes a strided run of equally-sized memory accesses:
+// element i covers bytes [Base+i·Stride, Base+i·Stride+Size). A Segment
+// is the bulk-replay unit of the simulator — one descriptor stands for
+// Count individual Read/Write calls.
+type Segment struct {
+	// Base is the byte address of element 0.
+	Base uint64
+	// Stride is the byte distance between consecutive elements. A zero
+	// stride replays the same element Count times.
+	Stride uint64
+	// Count is the number of elements.
+	Count int
+	// Size is the bytes accessed per element. Elements with Size <= 0
+	// access nothing (matching Access's no-op on non-positive sizes).
+	Size int
+	// Write selects stores rather than loads.
+	Write bool
+}
+
+// AccessSegment replays one segment through the hierarchy. It is
+// exactly equivalent — every per-level counter, DRAM line count,
+// eviction decision, and LRU timestamp — to
+//
+//	for i := 0; i < s.Count; i++ {
+//		h.Access(s.Base+uint64(i)*s.Stride, s.Size, s.Write)
+//	}
+//
+// but coalesces the word-granular walk into one genuine lookup per
+// cache line touched: the remaining accesses to a line are guaranteed
+// hits (a hit never evicts) and are applied as bulk counter updates.
+func (h *Hierarchy) AccessSegment(s Segment) {
+	segs := [1]Segment{s}
+	h.ReplaySegments(segs[:], 1)
+}
+
+// ReplaySegments replays an element-interleaved group of segments,
+// sweeps times over. It is exactly equivalent to
+//
+//	for sweep := 0; sweep < sweeps; sweep++ {
+//		for i := 0; i < maxCount; i++ {
+//			for _, s := range segs {
+//				if i < s.Count {
+//					h.Access(s.Base+uint64(i)*s.Stride, s.Size, s.Write)
+//				}
+//			}
+//		}
+//	}
+//
+// — the access order of a loop nest that walks several parallel arrays
+// in lock step (a structure-of-arrays record read is one group of four
+// segments). Two layers of coalescing apply:
+//
+//  1. Within a sweep, runs of elements that stay on one cache line per
+//     segment are resolved with a single genuine lookup per line; the
+//     remaining accesses are bulk-applied as hits after verifying every
+//     line of the run survived the lookups (an install or prefetch in
+//     the same round can evict a neighbour's line; verification makes
+//     the bulk path exact, and failure falls back to the scalar walk).
+//  2. Across sweeps, if every distinct line touched by sweep 1 is still
+//     resident in the innermost level afterwards, sweeps 2..n would
+//     replay as pure innermost-level hits — hits never evict, so
+//     residency is invariant — and all their counter updates (hits,
+//     bytes served, per-line dirty bits and LRU timestamps, MRU hints,
+//     tick advance) are applied in closed form. If any line is absent
+//     (the block outgrew the level, conflict misses displaced it, or
+//     write-through stores never installed it), every remaining sweep
+//     is replayed through layer 1 instead.
+//
+// Write-through stores never allocate on miss, so no residency can be
+// established for them; a group containing a write segment while the
+// hierarchy is in write-through mode is replayed entirely scalar.
+func (h *Hierarchy) ReplaySegments(segs []Segment, sweeps int) {
+	if sweeps < 1 || len(segs) == 0 {
+		return
+	}
+	// Drop no-op segments (matching Access's early return) and detect
+	// write-through stores, which defeat both fast paths.
+	act := h.segScratch[:0]
+	wt := false
+	for _, s := range segs {
+		if s.Count <= 0 || s.Size <= 0 {
+			continue
+		}
+		if s.Write && h.writeThrough {
+			wt = true
+		}
+		act = append(act, s)
+	}
+	h.segScratch = act[:0]
+	if len(act) == 0 {
+		return
+	}
+	if wt {
+		h.replayScalar(act, sweeps)
+		return
+	}
+	var rec *sweepRecord
+	if sweeps > 1 {
+		rec = &h.segRec
+		rec.reset(h.tick)
+	}
+	h.replaySweep(act, rec)
+	if sweeps == 1 {
+		return
+	}
+	perSweep := h.tick - rec.startTick
+	if h.sweepResident(rec) {
+		h.applyResidentSweeps(rec, uint64(sweeps-1), perSweep)
+		return
+	}
+	for s := 1; s < sweeps; s++ {
+		h.replaySweep(act, nil)
+	}
+}
+
+// replayScalar is the exact reference loop ReplaySegments documents —
+// the fallback when no fast path is sound (write-through stores).
+func (h *Hierarchy) replayScalar(segs []Segment, sweeps int) {
+	maxCount := 0
+	for i := range segs {
+		if segs[i].Count > maxCount {
+			maxCount = segs[i].Count
+		}
+	}
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for i := 0; i < maxCount; i++ {
+			for si := range segs {
+				s := &segs[si]
+				if i < s.Count {
+					h.Access(s.Base+uint64(i)*s.Stride, s.Size, s.Write)
+				}
+			}
+		}
+	}
+}
+
+// segLine is one run of accesses to a single cache line during a
+// recorded sweep: n touches, the last at tick offset lastOff (1-based,
+// from the sweep's start). A line touched at several points of the
+// sweep appears as several records, in chronological order — applying
+// records in order therefore reproduces the scalar walk's last-write-
+// wins line state (dirty bit, LRU stamp) while the counter sums stay
+// additive, with no per-line dedup structure on the hot path.
+type segLine struct {
+	la      uint64
+	n       uint64
+	lastOff uint64
+	write   bool
+	// way and wayIdx are filled by sweepResident when the closed-form
+	// path is taken.
+	way    *line
+	wayIdx uint32
+}
+
+// sweepRecord accumulates the line-touch profile of one sweep, in
+// chronological order. It lives on the Hierarchy and is reused across
+// ReplaySegments calls to keep the replay allocation-free.
+type sweepRecord struct {
+	startTick uint64
+	lines     []segLine
+}
+
+func (r *sweepRecord) reset(tick uint64) {
+	r.startTick = tick
+	r.lines = r.lines[:0]
+}
+
+// add records n accesses to line la, the last at tick offset off.
+func (r *sweepRecord) add(la uint64, write bool, n, off uint64) {
+	r.lines = append(r.lines, segLine{la: la, n: n, lastOff: off, write: write})
+}
+
+// lineOf maps a byte address to its line address.
+func (h *Hierarchy) lineOf(addr uint64) uint64 {
+	if h.lineShift >= 0 {
+		return addr >> h.lineShift
+	}
+	return addr / h.lineSize
+}
+
+// elemScalar replays one element exactly as Access would, recording
+// each line touch when rec is non-nil.
+func (h *Hierarchy) elemScalar(addr uint64, size int, write bool, rec *sweepRecord) {
+	first := h.lineOf(addr)
+	last := h.lineOf(addr + uint64(size) - 1)
+	for la := first; la <= last; la++ {
+		h.tick++
+		if rec != nil {
+			rec.add(la, write, 1, h.tick-rec.startTick)
+		}
+		h.accessLine(la, write)
+	}
+}
+
+// sameLineRun returns how many consecutive elements of s, starting at
+// element i, lie entirely within element i's cache line (at most
+// maxRun). It returns 0 when element i itself crosses a line boundary
+// or wraps the address space — the caller then replays that round with
+// the exact scalar walk.
+func (h *Hierarchy) sameLineRun(s *Segment, i, maxRun int) int {
+	start := s.Base + uint64(i)*s.Stride
+	last := start + uint64(s.Size) - 1
+	if last < start {
+		return 0 // address-space wrap; Access treats this as a no-op
+	}
+	la := h.lineOf(start)
+	if h.lineOf(last) != la {
+		return 0
+	}
+	if s.Stride == 0 {
+		return maxRun
+	}
+	// Closed form: element i+d stays on la while its last byte does,
+	// i.e. while d·Stride <= room, the slack between element i's last
+	// byte and the line end (la·lineSize never overflows — la came from
+	// a division by lineSize). A non-power-of-two line size leaves a
+	// partial top line whose nominal end lies past the address space, so
+	// the slack is also capped at the bytes remaining before the wrap:
+	// elements beyond it are scalar-walk no-ops, not run members.
+	room := h.lineSize - 1 - (last - la*h.lineSize)
+	if toWrap := ^uint64(0) - last; toWrap < room {
+		room = toWrap
+	}
+	n := 1 + int(room/s.Stride)
+	if n > maxRun {
+		return maxRun
+	}
+	return n
+}
+
+// segWay pairs a chunk-resident innermost-level way with its line and
+// request type, for the bulk hit application.
+type segWay struct {
+	w     *line
+	idx   uint32
+	la    uint64
+	write bool
+}
+
+// findInnerWay scans the innermost level's set for la and returns the
+// holding way, or nil when the line is not resident there.
+func (h *Hierarchy) findInnerWay(la uint64) (*line, uint32) {
+	l := h.levels[0]
+	set := l.setIndex(la)
+	base := int(set) * l.ways
+	ways := l.data[base : base+l.ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == la {
+			return &ways[i], uint32(i)
+		}
+	}
+	return nil, 0
+}
+
+// replaySweep replays one interleaved pass over segs, chunking rounds
+// whose elements stay line-stable into one genuine lookup per segment
+// plus bulk hit updates. When rec is non-nil every line touch is
+// recorded for the cross-sweep residency fast path.
+func (h *Hierarchy) replaySweep(segs []Segment, rec *sweepRecord) {
+	maxCount := 0
+	for i := range segs {
+		if segs[i].Count > maxCount {
+			maxCount = segs[i].Count
+		}
+	}
+	l0 := h.levels[0]
+	i := 0
+	for i < maxCount {
+		// k = rounds this chunk can cover: bounded by the shortest
+		// remaining active segment (the active set must not change
+		// mid-chunk) and by each segment's same-line run.
+		k := maxCount - i
+		straddle := false
+		for si := range segs {
+			s := &segs[si]
+			if i >= s.Count {
+				continue
+			}
+			if rem := s.Count - i; rem < k {
+				k = rem
+			}
+			r := h.sameLineRun(s, i, k)
+			if r == 0 {
+				straddle = true
+				break
+			}
+			if r < k {
+				k = r
+			}
+		}
+		if straddle {
+			// An element crosses a line boundary (or wraps): replay this
+			// one round exactly, then retry chunking from the next round.
+			for si := range segs {
+				s := &segs[si]
+				if i < s.Count {
+					h.elemScalar(s.Base+uint64(i)*s.Stride, s.Size, s.Write, rec)
+				}
+			}
+			i++
+			continue
+		}
+		// Round 0: one genuine line lookup per active segment, in
+		// segment order, recording each line address for pass 2.
+		la := h.segLA[:0]
+		for si := range segs {
+			s := &segs[si]
+			if i >= s.Count {
+				continue
+			}
+			addr := h.lineOf(s.Base + uint64(i)*s.Stride)
+			la = append(la, addr)
+			h.tick++
+			if rec != nil {
+				rec.add(addr, s.Write, 1, h.tick-rec.startTick)
+			}
+			h.accessLine(addr, s.Write)
+		}
+		h.segLA = la[:0]
+		if k == 1 {
+			i++
+			continue
+		}
+		// Rounds 1..k-1 are hits iff every line survived round 0: a
+		// later install (or a single-level prefetch) in the same round
+		// can evict an earlier line from the innermost level. Verify
+		// residency; hits never evict, so one check covers all rounds.
+		ways := h.segWays[:0]
+		resident := true
+		ai := 0
+		for si := range segs {
+			s := &segs[si]
+			if i >= s.Count {
+				continue
+			}
+			w, wi := h.findInnerWay(la[ai])
+			if w == nil {
+				resident = false
+				break
+			}
+			ways = append(ways, segWay{w: w, idx: wi, la: la[ai], write: s.Write})
+			ai++
+		}
+		h.segWays = ways[:0]
+		if !resident {
+			// Exact fallback: the remaining rounds of the chunk replay
+			// scalar (each element is single-line by construction, but
+			// misses and evictions must evolve normally).
+			for r := 1; r < k; r++ {
+				for si := range segs {
+					s := &segs[si]
+					if i+r < s.Count {
+						h.elemScalar(s.Base+uint64(i+r)*s.Stride, s.Size, s.Write, rec)
+					}
+				}
+			}
+			i += k
+			continue
+		}
+		// Bulk-apply rounds 1..k-1: per active segment, k-1 innermost
+		// hits. Scalar ticks run round-major (round r, segment j ticks
+		// at t0+(r-1)·m+j+1), so each line's final LRU stamp is its
+		// last-round tick; duplicates of one line across segments
+		// resolve in segment order, exactly as the scalar walk would.
+		t0 := h.tick
+		m := uint64(len(ways))
+		rounds := uint64(k - 1)
+		for idx := range ways {
+			wy := &ways[idx]
+			lastTick := t0 + (rounds-1)*m + uint64(idx) + 1
+			l0.stats.Accesses += rounds
+			l0.stats.Hits += rounds
+			l0.stats.BytesServed += rounds * h.lineSize
+			if wy.write {
+				l0.stats.WriteHits += rounds
+				wy.w.dirty = true
+			} else {
+				l0.stats.ReadHits += rounds
+			}
+			wy.w.used = lastTick
+			l0.mru[l0.setIndex(wy.la)] = wy.idx
+			if rec != nil {
+				rec.add(wy.la, wy.write, rounds, lastTick-rec.startTick)
+			}
+		}
+		h.tick = t0 + rounds*m
+		i += k
+	}
+}
+
+// sweepResident reports whether every line the recorded sweep touched
+// is resident in the innermost level, filling each record's way
+// pointer. This is the proof obligation of the closed-form sweep path:
+// resident lines make the next sweep all hits, hits never evict, so
+// residency — and with it the hit guarantee — is invariant across all
+// remaining sweeps.
+func (h *Hierarchy) sweepResident(rec *sweepRecord) bool {
+	for i := range rec.lines {
+		e := &rec.lines[i]
+		w, wi := h.findInnerWay(e.la)
+		if w == nil {
+			return false
+		}
+		e.way, e.wayIdx = w, wi
+	}
+	return true
+}
+
+// applyResidentSweeps applies the counter updates of extra further
+// sweeps, each of perSweep ticks, given that every recorded line is
+// resident in the innermost level: per record, n hits per sweep; per
+// level-0 totals, the summed counts; per line state, the dirty bit for
+// written lines and the LRU timestamp of its final access in the final
+// sweep (records apply in chronological order, so the last record of a
+// line wins); and the tick advance of the full replay.
+func (h *Hierarchy) applyResidentSweeps(rec *sweepRecord, extra, perSweep uint64) {
+	l0 := h.levels[0]
+	base := h.tick
+	var acc, rh, wh uint64
+	for i := range rec.lines {
+		e := &rec.lines[i]
+		acc += e.n
+		if e.write {
+			wh += e.n
+			e.way.dirty = true
+		} else {
+			rh += e.n
+		}
+		e.way.used = base + (extra-1)*perSweep + e.lastOff
+		l0.mru[l0.setIndex(e.la)] = e.wayIdx
+	}
+	l0.stats.Accesses += extra * acc
+	l0.stats.Hits += extra * acc
+	l0.stats.ReadHits += extra * rh
+	l0.stats.WriteHits += extra * wh
+	l0.stats.BytesServed += extra * acc * h.lineSize
+	h.tick = base + extra*perSweep
+}

@@ -70,6 +70,22 @@ func (tr Traffic) CacheBytes() float64 {
 // and serves the remaining sweeps from the staging path. Without
 // register blocking the per-target potential is re-read and re-written
 // around every (B, S) sweep; register-blocked variants keep it live.
+//
+// Segment decomposition: instead of issuing one cache access per
+// 4-byte word, the replay hands the hierarchy bulk descriptors
+// (cache.Segment) that reproduce the word-at-a-time access sequence
+// exactly. One contiguous run of particle records [first, first+count)
+// becomes one 16-byte-strided segment for the AoS layout, or four
+// element-interleaved word segments (x, y, z, d at bases 1 GiB apart)
+// for SoA — cache.Hierarchy.ReplaySegments interleaves segments per
+// element index, matching the original x[j], y[j], z[j], d[j] read
+// order. The cache-only sweep loop collapses into a single
+// ReplaySegments(recordSegs, sweeps) call, letting the hierarchy's
+// resident-sweep fast path account repeated sweeps in closed form; the
+// φ spill is a two-segment read/write interleave and the final
+// write-out a single write segment. The counters this produces are
+// bit-identical to the scalar replay (pinned by
+// TestSimulateTrafficMatchesWordReplay).
 func (t *Tree) SimulateTraffic(u ULists, v Variant, h *cache.Hierarchy) (Traffic, error) {
 	if len(u) != len(t.Leaves) {
 		return Traffic{}, errors.New("fmm: U-list count does not match leaves")
@@ -81,16 +97,20 @@ func (t *Tree) SimulateTraffic(u ULists, v Variant, h *cache.Hierarchy) (Traffic
 	var tr Traffic
 
 	group := v.TargetTile * BroadcastWidth
-	readRecord := func(idx int) {
+	// recordSegs describes the particle records [first, first+count) as
+	// replay segments (see the segment-decomposition note above).
+	var segBuf [4]cache.Segment
+	recordSegs := func(first, count int) []cache.Segment {
 		if v.Layout == AoS {
-			h.Read(baseAoS+uint64(idx)*recordBytes, recordBytes)
-			return
+			segBuf[0] = cache.Segment{Base: baseAoS + uint64(first)*recordBytes, Stride: recordBytes, Count: count, Size: recordBytes}
+			return segBuf[:1]
 		}
-		h.Read(baseX+uint64(idx)*wordBytes, wordBytes)
-		h.Read(baseY+uint64(idx)*wordBytes, wordBytes)
-		h.Read(baseZ+uint64(idx)*wordBytes, wordBytes)
-		h.Read(baseD+uint64(idx)*wordBytes, wordBytes)
+		for k, base := range [...]uint64{baseX, baseY, baseZ, baseD} {
+			segBuf[k] = cache.Segment{Base: base + uint64(first)*wordBytes, Stride: wordBytes, Count: count, Size: wordBytes}
+		}
+		return segBuf[:4]
 	}
+	var phiBuf [2]cache.Segment
 
 	for bi, li := range t.Leaves {
 		b := &t.Nodes[li]
@@ -99,9 +119,7 @@ func (t *Tree) SimulateTraffic(u ULists, v Variant, h *cache.Hierarchy) (Traffic
 			continue
 		}
 		// Target coordinates: loaded once per leaf.
-		for i := b.Start; i < b.End; i++ {
-			readRecord(i)
-		}
+		h.ReplaySegments(recordSegs(b.Start, qb), 1)
 		sweeps := (qb + group - 1) / group
 		for _, si := range u[bi] {
 			s := &t.Nodes[si]
@@ -112,49 +130,41 @@ func (t *Tree) SimulateTraffic(u ULists, v Variant, h *cache.Hierarchy) (Traffic
 			blockBytes := float64(qs * recordBytes)
 			switch v.Staging {
 			case CacheOnly:
-				for sweep := 0; sweep < sweeps; sweep++ {
-					for j := s.Start; j < s.End; j++ {
-						readRecord(j)
-					}
-				}
+				h.ReplaySegments(recordSegs(s.Start, qs), sweeps)
 			case SharedMem:
 				// Stage once through the caches, then serve all sweeps
 				// from scratchpad.
-				for j := s.Start; j < s.End; j++ {
-					readRecord(j)
-				}
+				h.ReplaySegments(recordSegs(s.Start, qs), 1)
 				tr.SharedBytes += float64(sweeps) * blockBytes
 			case TextureMem:
 				// The texture path has its own small cache; model it as
 				// one staging pass through the hierarchy plus
 				// texture-served sweeps.
-				for j := s.Start; j < s.End; j++ {
-					readRecord(j)
-				}
+				h.ReplaySegments(recordSegs(s.Start, qs), 1)
 				tr.TextureBytes += float64(sweeps) * blockBytes
 			}
 			// Without register blocking the accumulator spills: φ is
 			// re-read and re-written around every (B, S) sweep.
 			if v.TargetTile == 1 {
-				for i := b.Start; i < b.End; i++ {
-					h.Read(basePhi+uint64(i)*wordBytes, wordBytes)
-					h.Write(basePhi+uint64(i)*wordBytes, wordBytes)
-				}
+				phiBase := basePhi + uint64(b.Start)*wordBytes
+				phiBuf[0] = cache.Segment{Base: phiBase, Stride: wordBytes, Count: qb, Size: wordBytes}
+				phiBuf[1] = cache.Segment{Base: phiBase, Stride: wordBytes, Count: qb, Size: wordBytes, Write: true}
+				h.ReplaySegments(phiBuf[:], 1)
 			}
 		}
 		// Final potential write-out.
-		for i := b.Start; i < b.End; i++ {
-			h.Write(basePhi+uint64(i)*wordBytes, wordBytes)
-		}
+		h.AccessSegment(cache.Segment{Base: basePhi + uint64(b.Start)*wordBytes, Stride: wordBytes, Count: qb, Size: wordBytes, Write: true})
 	}
 
 	tr.DRAMReadBytes = float64(h.DRAMReadBytes())
 	tr.DRAMWriteBytes = float64(h.DRAMWriteBytes())
-	for _, ls := range h.Stats() {
-		tr.Levels = append(tr.Levels, core.LevelTraffic{
+	tr.Levels = make([]core.LevelTraffic, h.NumLevels())
+	for i := range tr.Levels {
+		ls := h.Level(i)
+		tr.Levels[i] = core.LevelTraffic{
 			Name:  ls.Name,
 			Bytes: float64(ls.BytesServed),
-		})
+		}
 	}
 	return tr, nil
 }

@@ -22,9 +22,29 @@ import (
 // threads, thread block size, and number of memory requests per
 // thread". A coarse power-of-two grid search is followed by coordinate
 // hill climbing. Returns the best tuning found and its quality.
+//
+// Each distinct tuning is probed at most once per call: the grid
+// revisits the seed point and the hill climb re-proposes neighbours it
+// has already scored (every climb ends with a full ring of re-proposals
+// that shows no improvement), so scores are memoized per tuning.
+// TestAutoTuneMemoEquivalence pins that the chosen tuning and quality
+// are identical to the probe-every-visit search.
 func AutoTune(eng *sim.Engine, prec machine.Precision) (sim.Tuning, float64, error) {
+	scores := make(map[sim.Tuning]float64, 64)
+	score := func(t sim.Tuning) (float64, error) {
+		if s, ok := scores[t]; ok {
+			return s, nil
+		}
+		s, err := probeScore(eng, prec, t)
+		if err != nil {
+			return 0, err
+		}
+		scores[t] = s
+		return s, nil
+	}
+
 	best := sim.Tuning{Threads: 256, BlockSize: 64, Unroll: 4, RequestsPerThread: 2}
-	bestScore, err := probeScore(eng, prec, best)
+	bestScore, err := score(best)
 	if err != nil {
 		return sim.Tuning{}, 0, err
 	}
@@ -33,7 +53,7 @@ func AutoTune(eng *sim.Engine, prec machine.Precision) (sim.Tuning, float64, err
 	for _, th := range []int{64, 128, 256, 512, 1024, 2048, 4096, 8192} {
 		for _, bs := range []int{32, 64, 128, 256, 512} {
 			t := sim.Tuning{Threads: th, BlockSize: bs, Unroll: best.Unroll, RequestsPerThread: best.RequestsPerThread}
-			s, err := probeScore(eng, prec, t)
+			s, err := score(t)
 			if err != nil {
 				return sim.Tuning{}, 0, err
 			}
@@ -47,7 +67,7 @@ func AutoTune(eng *sim.Engine, prec machine.Precision) (sim.Tuning, float64, err
 	for iter := 0; improved && iter < 16; iter++ {
 		improved = false
 		for _, cand := range neighbours(best) {
-			s, err := probeScore(eng, prec, cand)
+			s, err := score(cand)
 			if err != nil {
 				return sim.Tuning{}, 0, err
 			}
