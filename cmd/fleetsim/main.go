@@ -1,0 +1,421 @@
+// Command fleetsim drives the deterministic fleet simulator
+// (internal/cluster): synthetic traffic from internal/workload routed
+// over a fleet of rooflined replicas under every routing policy, with
+// per-policy throughput, latency percentiles, cache hit rates,
+// coalesce ratios, and total simulated energy.
+//
+// The report is byte-identical at any -workers value — the determinism
+// the golden tests pin — so fleetsim output diffs cleanly across
+// commits.
+//
+// Usage:
+//
+//	go run ./cmd/fleetsim                          # run the smoke scenario, print the table
+//	go run ./cmd/fleetsim -scenario list           # list scenarios
+//	go run ./cmd/fleetsim -scenario cluster_1m     # one 1M-request fleet scenario
+//	go run ./cmd/fleetsim -scenario all -workers 4 # everything, 4 policy cells at a time
+//	go run ./cmd/fleetsim -json report.json        # machine-readable report ("-" for stdout)
+//	go run ./cmd/fleetsim -trace fleet.json        # Chrome trace_event spans (virtual time)
+//	go run ./cmd/fleetsim -replay trace.json       # replay a recorded workload trace
+//	go run ./cmd/fleetsim -bench -check            # regression gate against BENCH_cluster.json
+//
+// Bench mode reuses the corebench trajectory format: BENCH_cluster.json
+// holds a fixed baseline plus one appended entry per PR that touches
+// the fleet path (-update appends, -record-baseline pins, -check
+// enforces -max-slowdown in CI).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchMetrics is one bench scenario's measurement, schema-compatible
+// with corebench's Metrics so both BENCH_*.json files read the same.
+type benchMetrics struct {
+	// NsPerOp is wall nanoseconds for one full scenario run.
+	NsPerOp int64 `json:"ns_per_op"`
+	// BytesPerOp is heap bytes allocated across the run.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// AllocsPerOp is heap allocations across the run.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// SpeedupVsBaseline is baseline ns/op over this run's ns/op.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+	// SimulatedRPS is simulated requests per wall second — the
+	// simulator's own throughput, the number bench mode exists to track.
+	SimulatedRPS float64 `json:"simulated_rps,omitempty"`
+}
+
+// benchEntry is one recorded bench run.
+type benchEntry struct {
+	// Date is the run date (YYYY-MM-DD).
+	Date string `json:"date"`
+	// PR is the pull request the entry belongs to.
+	PR int `json:"pr,omitempty"`
+	// Note describes what changed.
+	Note string `json:"note,omitempty"`
+	// Scenarios maps scenario name to measured metrics.
+	Scenarios map[string]benchMetrics `json:"scenarios"`
+}
+
+// benchFile is the BENCH_cluster.json schema.
+type benchFile struct {
+	// Description explains the file's purpose and append-only policy.
+	Description string `json:"description"`
+	// CPU records the measuring machine.
+	CPU string `json:"cpu,omitempty"`
+	// Baseline is the fixed reference all speedups compare against.
+	Baseline *benchEntry `json:"baseline,omitempty"`
+	// Entries is the append-only trajectory, oldest first.
+	Entries []benchEntry `json:"entries"`
+}
+
+func main() {
+	scenarioFlag := flag.String("scenario", "smoke", "comma-separated scenario names, 'all', or 'list'")
+	workers := flag.Int("workers", 0, "parallel policy cells (<1 = GOMAXPROCS); the report is byte-identical at any value")
+	jsonOut := flag.String("json", "", "write the JSON report to this path ('-' for stdout)")
+	traceOut := flag.String("trace", "", "write Chrome trace_event JSON of virtual replica.serve spans to this path")
+	replay := flag.String("replay", "", "replay a workload trace (JSON from internal/workload) instead of generating the scenario's own")
+	requests := flag.Int("requests", 0, "override every scenario's request count (0 = scenario default)")
+	replicas := flag.Int("replicas", 0, "override every scenario's replica count by truncating/tiling its fleet (0 = scenario default)")
+
+	bench := flag.Bool("bench", false, "measure wall time per scenario and compare against -bench-file")
+	benchPath := flag.String("bench-file", "BENCH_cluster.json", "bench trajectory file")
+	check := flag.Bool("check", false, "with -bench: exit nonzero on regression beyond -max-slowdown")
+	maxSlowdown := flag.Float64("max-slowdown", 2.0, "with -check: fail when ns/op exceeds recorded*this")
+	update := flag.Bool("update", false, "with -bench: append this run to -bench-file")
+	recordBaseline := flag.Bool("record-baseline", false, "with -bench: pin this run as the fixed baseline (refuses to overwrite)")
+	pr := flag.Int("pr", 0, "PR number recorded with -update/-record-baseline")
+	note := flag.String("note", "", "note recorded with -update/-record-baseline")
+	flag.Parse()
+
+	catalog := cluster.Scenarios()
+	if *scenarioFlag == "list" {
+		for _, name := range cluster.ScenarioNames() {
+			fmt.Printf("%-12s %s\n", name, catalog[name].Desc)
+		}
+		return
+	}
+	var names []string
+	if *scenarioFlag == "all" || *scenarioFlag == "" {
+		names = cluster.ScenarioNames()
+	} else {
+		for _, name := range strings.Split(*scenarioFlag, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := catalog[name]; !ok {
+				fatalf("unknown scenario %q (use -scenario list)", name)
+			}
+			names = append(names, name)
+		}
+	}
+
+	var replayed *workload.Trace
+	if *replay != "" {
+		data, err := os.ReadFile(*replay)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		replayed, err = workload.ParseTrace(data)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.Config{Capacity: 1 << 15})
+	}
+
+	if *bench {
+		runBench(names, catalog, benchOpts{
+			path: *benchPath, check: *check, maxSlowdown: *maxSlowdown,
+			update: *update, recordBaseline: *recordBaseline, pr: *pr, note: *note,
+			workers: *workers, requests: *requests, replicas: *replicas,
+		})
+		return
+	}
+
+	reports := make([]*cluster.Report, 0, len(names))
+	for _, name := range names {
+		sc := applyOverrides(catalog[name], *requests, *replicas)
+		rep, err := cluster.RunScenario(context.Background(), sc, cluster.Options{
+			Workers: *workers,
+			Tracer:  tracer,
+			Trace:   replayed,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printReport(rep)
+		reports = append(reports, rep)
+	}
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, reports); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *traceOut != "" {
+		data, err := tracer.MarshalChrome()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*traceOut, append(data, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+// fatalf prints one error line and exits 2 (usage/config errors).
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fleetsim: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// applyOverrides shrinks or grows a catalog scenario per -requests and
+// -replicas: the fleet is truncated or tiled (repeating the spec list)
+// to the requested size, so CI can smoke a 1M scenario in seconds.
+func applyOverrides(sc cluster.Scenario, requests, replicas int) cluster.Scenario {
+	if requests > 0 {
+		sc.Workload.Requests = requests
+		if sc.Workload.Clients > requests {
+			sc.Workload.Clients = requests
+		}
+	}
+	if replicas > 0 {
+		fleet := make([]cluster.ReplicaSpec, replicas)
+		for i := range fleet {
+			fleet[i] = sc.Replicas[i%len(sc.Replicas)]
+		}
+		sc.Replicas = fleet
+	}
+	return sc
+}
+
+// writeJSON renders the reports (one object for a single scenario, an
+// array otherwise) to path or stdout.
+func writeJSON(path string, reports []*cluster.Report) error {
+	var data []byte
+	var err error
+	if len(reports) == 1 {
+		data, err = reports[0].Marshal()
+	} else {
+		data, err = json.MarshalIndent(reports, "", " ")
+		data = append(data, '\n')
+	}
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// printReport renders one scenario's human table.
+func printReport(r *cluster.Report) {
+	fmt.Printf("scenario %s: %s\n", r.Scenario, r.Description)
+	fmt.Printf("  %d replicas, %d requests (%s)\n", r.Replicas, r.Requests, r.Workload)
+	fmt.Printf("  %-14s %10s %9s %9s %9s %8s %9s %12s\n",
+		"policy", "rps", "p50 ms", "p99 ms", "p999 ms", "hit%", "coalesce", "J/req")
+	for _, p := range r.Policies {
+		fmt.Printf("  %-14s %10.1f %9.2f %9.2f %9.2f %7.1f%% %9.4f %12.4f\n",
+			p.Policy, p.ThroughputRPS, p.P50ms, p.P99ms, p.P999ms,
+			100*p.CacheHitRate, p.CoalesceRatio, p.EnergyPerRequest)
+	}
+}
+
+// benchOpts carries bench mode's flag values.
+type benchOpts struct {
+	path           string
+	check          bool
+	maxSlowdown    float64
+	update         bool
+	recordBaseline bool
+	pr             int
+	note           string
+	workers        int
+	requests       int
+	replicas       int
+}
+
+// runBench times one full run of each named scenario and applies the
+// corebench-style trajectory workflow to BENCH_cluster.json.
+func runBench(names []string, catalog map[string]cluster.Scenario, opts benchOpts) {
+	f, err := loadBenchFile(opts.path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if opts.recordBaseline && f.Baseline != nil {
+		fatalf("%s already has a baseline; the baseline is fixed by policy", opts.path)
+	}
+
+	results := map[string]benchMetrics{}
+	fmt.Printf("%-12s %14s %14s %12s %12s %10s\n", "scenario", "ns/op", "B/op", "allocs/op", "sim rps", "speedup")
+	for _, name := range names {
+		sc := applyOverrides(catalog[name], opts.requests, opts.replicas)
+		m := measure(sc, opts.workers)
+		if f.Baseline != nil {
+			if base, ok := f.Baseline.Scenarios[name]; ok && base.NsPerOp > 0 && m.NsPerOp > 0 {
+				m.SpeedupVsBaseline = float64(base.NsPerOp) / float64(m.NsPerOp)
+			}
+		}
+		results[name] = m
+		speedup := "-"
+		if m.SpeedupVsBaseline > 0 {
+			speedup = fmt.Sprintf("%.2fx", m.SpeedupVsBaseline)
+		}
+		fmt.Printf("%-12s %14d %14d %12d %12.0f %10s\n",
+			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.SimulatedRPS, speedup)
+	}
+
+	failed := false
+	if opts.check {
+		ref := latestReference(f)
+		if ref == nil {
+			fatalf("-check needs a recorded entry or baseline in %s", opts.path)
+		}
+		for _, name := range names {
+			r, ok := ref[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fleetsim: scenario %s has no recorded reference\n", name)
+				failed = true
+				continue
+			}
+			m := results[name]
+			if opts.maxSlowdown > 0 && r.NsPerOp > 0 && float64(m.NsPerOp) > float64(r.NsPerOp)*opts.maxSlowdown {
+				fmt.Fprintf(os.Stderr, "fleetsim: REGRESSION %s: %d ns/op exceeds recorded %d ns/op x %.2f\n",
+					name, m.NsPerOp, r.NsPerOp, opts.maxSlowdown)
+				failed = true
+			}
+		}
+		if !failed {
+			fmt.Println("fleetsim: all scenarios within thresholds")
+		}
+	}
+
+	if opts.recordBaseline || opts.update {
+		e := benchEntry{
+			Date:      time.Now().Format("2006-01-02"),
+			PR:        opts.pr,
+			Note:      opts.note,
+			Scenarios: results,
+		}
+		if f.CPU == "" {
+			f.CPU = cpuModel()
+		}
+		if opts.recordBaseline {
+			for name, m := range e.Scenarios {
+				m.SpeedupVsBaseline = 0
+				e.Scenarios[name] = m
+			}
+			f.Baseline = &e
+		} else {
+			f.Entries = append(f.Entries, e)
+		}
+		if err := saveBenchFile(opts.path, f); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("fleetsim: wrote %s\n", opts.path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// measure runs one scenario once and reports wall time, allocation
+// totals, and simulated throughput.
+func measure(sc cluster.Scenario, workers int) benchMetrics {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rep, err := cluster.RunScenario(context.Background(), sc, cluster.Options{Workers: workers})
+	if err != nil {
+		fatalf("%s: %v", sc.Name, err)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	simulated := 0
+	for _, p := range rep.Policies {
+		simulated += p.Requests
+	}
+	m := benchMetrics{
+		NsPerOp:     elapsed.Nanoseconds(),
+		BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
+		AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		m.SimulatedRPS = float64(simulated) / secs
+	}
+	return m
+}
+
+// cpuModel best-efforts a human-readable CPU label.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, "model name") {
+				if i := strings.IndexByte(line, ':'); i >= 0 {
+					return strings.TrimSpace(line[i+1:])
+				}
+			}
+		}
+	}
+	return runtime.GOOS + "/" + runtime.GOARCH
+}
+
+// loadBenchFile reads the trajectory file, or starts a fresh one.
+func loadBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &benchFile{
+			Description: "Trajectory of fleet-simulator benchmarks (go run ./cmd/fleetsim -bench). " +
+				"Each scenario is one full deterministic fleet simulation; ns/op is wall time for the whole run. " +
+				"The baseline block is fixed; entries are append-only, one per PR touching the fleet path. " +
+				"See docs/CLUSTER.md for the scenario catalog.",
+		}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &f, nil
+}
+
+// saveBenchFile writes the trajectory file.
+func saveBenchFile(path string, f *benchFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// latestReference returns what -check compares against: the newest
+// entry, else the baseline.
+func latestReference(f *benchFile) map[string]benchMetrics {
+	if n := len(f.Entries); n > 0 {
+		return f.Entries[n-1].Scenarios
+	}
+	if f.Baseline != nil {
+		return f.Baseline.Scenarios
+	}
+	return nil
+}

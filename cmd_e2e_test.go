@@ -2,6 +2,7 @@ package energyroofline
 
 import (
 	"bufio"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -473,6 +474,132 @@ func TestRooflinedBinary(t *testing.T) {
 		t.Errorf("shutdown trace dump: %v", err)
 	} else if !strings.Contains(string(data), "traceEvents") {
 		t.Error("shutdown trace dump is not a Chrome trace")
+	}
+}
+
+// TestFleetsimBinary drives the fleet simulator CLI end to end: the
+// scenario catalog, the JSON report schema, worker-count determinism of
+// the report bytes, the Chrome trace artifact, the bench -check gate,
+// and the error exits.
+func TestFleetsimBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "fleetsim")
+
+	// -scenario list names the full catalog.
+	list := runBin(t, bin, "-scenario", "list")
+	for _, name := range []string{"smoke", "cluster_1m", "burst_1m", "closed_1m", "hetero_1m"} {
+		if !strings.Contains(list, name) {
+			t.Errorf("-scenario list missing %q:\n%s", name, list)
+		}
+	}
+
+	// One shrunken scenario with JSON report and Chrome trace artifacts.
+	jsonPath := filepath.Join(dir, "fleet.json")
+	tracePath := filepath.Join(dir, "fleet-trace.json")
+	out := runBin(t, bin, "-scenario", "smoke", "-requests", "2000",
+		"-json", jsonPath, "-trace", tracePath)
+	for _, want := range []string{"scenario smoke", "round_robin", "least_loaded", "cache_affinity", "energy_aware", "J/req"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	// The JSON report parses and carries the documented schema.
+	var report struct {
+		Scenario string `json:"scenario"`
+		Requests int    `json:"requests"`
+		Policies []struct {
+			Policy        string  `json:"policy"`
+			Requests      int     `json:"requests"`
+			ThroughputRPS float64 `json:"throughput_rps"`
+			P99ms         float64 `json:"p99_ms"`
+			CacheHitRate  float64 `json:"cache_hit_rate"`
+			EnergyJoules  float64 `json:"energy_joules"`
+			Replicas      []struct {
+				Machine    string `json:"machine"`
+				EngineRuns int    `json:"engine_runs"`
+			} `json:"replicas"`
+		} `json:"policies"`
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if report.Scenario != "smoke" || report.Requests != 2000 || len(report.Policies) != 4 {
+		t.Fatalf("report shape wrong: %+v", report)
+	}
+	for _, p := range report.Policies {
+		if p.Requests != 2000 || p.ThroughputRPS <= 0 || p.EnergyJoules <= 0 || len(p.Replicas) != 4 {
+			t.Errorf("policy %s cell degenerate: %+v", p.Policy, p)
+		}
+	}
+
+	// The -trace artifact is a loadable Chrome trace_event file with
+	// virtual replica.serve spans.
+	var chrome struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	data, err = os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &chrome); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Name != "replica.serve" || ev.Phase != "X" || ev.Dur <= 0 {
+			t.Fatalf("bad trace event: %+v", ev)
+		}
+	}
+
+	// Worker-count determinism at the binary level: the JSON report is
+	// byte-identical at -workers 1 and 8.
+	p1 := filepath.Join(dir, "w1.json")
+	p8 := filepath.Join(dir, "w8.json")
+	runBin(t, bin, "-scenario", "smoke", "-requests", "2000", "-workers", "1", "-json", p1)
+	runBin(t, bin, "-scenario", "smoke", "-requests", "2000", "-workers", "8", "-json", p8)
+	d1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := os.ReadFile(p8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d8) {
+		t.Error("-workers 8 report differs from -workers 1")
+	}
+
+	// Bench mode checks against the committed BENCH_cluster.json (the
+	// shrunken run is far faster than the recorded 1M entry, so -check
+	// passes without writing anything).
+	out = runBin(t, bin, "-bench", "-scenario", "cluster_1m", "-requests", "20000", "-check")
+	if !strings.Contains(out, "within thresholds") {
+		t.Errorf("bench -check did not pass:\n%s", out)
+	}
+
+	// Error exits: unknown scenario, unreadable replay file.
+	if out, err := exec.Command(bin, "-scenario", "warp9").CombinedOutput(); err == nil {
+		t.Errorf("unknown scenario accepted:\n%s", out)
+	} else if !strings.Contains(string(out), "unknown scenario") {
+		t.Errorf("unhelpful error: %s", out)
+	}
+	if out, err := exec.Command(bin, "-replay", "/dev/null").CombinedOutput(); err == nil {
+		t.Errorf("empty replay file accepted:\n%s", out)
 	}
 }
 

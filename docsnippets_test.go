@@ -19,6 +19,7 @@ var docFiles = []string{
 	"docs/ARCHITECTURE.md",
 	"docs/OBSERVABILITY.md",
 	"docs/PERFORMANCE.md",
+	"docs/CLUSTER.md",
 }
 
 // fence is one fenced code block from a markdown file.

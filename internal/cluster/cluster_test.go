@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// smokeScenario returns the catalog's smoke scenario, optionally shrunk
+// further for the cheapest tests.
+func smokeScenario(t *testing.T, requests int) Scenario {
+	t.Helper()
+	sc, ok := Scenarios()["smoke"]
+	if !ok {
+		t.Fatal("catalog lost the smoke scenario")
+	}
+	if requests > 0 {
+		sc.Workload.Requests = requests
+	}
+	return sc
+}
+
+// TestSmokeScenarioAccounting drives the smoke scenario and checks the
+// conservation laws every cell must satisfy: all requests complete, and
+// each one is accounted exactly once as a cache hit, a coalesced join,
+// or an engine run.
+func TestSmokeScenarioAccounting(t *testing.T) {
+	sc := smokeScenario(t, 0)
+	rep, err := RunScenario(context.Background(), sc, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if len(rep.Policies) != len(PolicyNames()) {
+		t.Fatalf("got %d policy cells, want %d", len(rep.Policies), len(PolicyNames()))
+	}
+	for _, pr := range rep.Policies {
+		if pr.Requests != sc.Workload.Requests {
+			t.Fatalf("%s: completed %d of %d requests", pr.Policy, pr.Requests, sc.Workload.Requests)
+		}
+		if pr.SimSeconds <= 0 || pr.ThroughputRPS <= 0 {
+			t.Fatalf("%s: degenerate timing: %+v", pr.Policy, pr)
+		}
+		if pr.P50ms > pr.P99ms || pr.P99ms > pr.P999ms {
+			t.Fatalf("%s: percentiles out of order: %+v", pr.Policy, pr)
+		}
+		if pr.EnergyJoules <= 0 {
+			t.Fatalf("%s: no energy accounted", pr.Policy)
+		}
+		var routed, hits, coalesced, engine int
+		for _, rr := range pr.Replicas {
+			routed += rr.Requests
+			hits += int(rr.Hits)
+			coalesced += rr.Coalesced
+			engine += rr.EngineRuns
+		}
+		if routed != sc.Workload.Requests {
+			t.Fatalf("%s: routed %d requests, want %d", pr.Policy, routed, sc.Workload.Requests)
+		}
+		if hits+coalesced+engine != sc.Workload.Requests {
+			t.Fatalf("%s: hits %d + coalesced %d + engine %d != %d",
+				pr.Policy, hits, coalesced, engine, sc.Workload.Requests)
+		}
+		if hits == 0 {
+			t.Fatalf("%s: Zipf traffic produced zero cache hits", pr.Policy)
+		}
+	}
+}
+
+// TestWorkerCountInvariance pins the tentpole determinism contract at
+// the API level: the marshalled report is byte-identical whether policy
+// cells run serially or across many workers.
+func TestWorkerCountInvariance(t *testing.T) {
+	sc := smokeScenario(t, 5000)
+	var first []byte
+	for _, workers := range []int{1, 4, 16} {
+		rep, err := RunScenario(context.Background(), sc, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		data, err := rep.Marshal()
+		if err != nil {
+			t.Fatalf("workers=%d: Marshal: %v", workers, err)
+		}
+		if first == nil {
+			first = data
+		} else if !bytes.Equal(first, data) {
+			t.Fatalf("workers=%d report differs from workers=1", workers)
+		}
+	}
+}
+
+// TestReplayMatchesGenerated pins replay: running a scenario on an
+// explicitly replayed trace produces the same report as letting the
+// scenario generate the identical workload itself.
+func TestReplayMatchesGenerated(t *testing.T) {
+	sc := smokeScenario(t, 4000)
+	tr, err := workload.Generate(sc.Workload)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	data, err := tr.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	replayed, err := workload.ParseTrace(data)
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	a, err := RunScenario(context.Background(), sc, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("generated run: %v", err)
+	}
+	b, err := RunScenario(context.Background(), sc, Options{Workers: 1, Trace: replayed})
+	if err != nil {
+		t.Fatalf("replayed run: %v", err)
+	}
+	ab, _ := a.Marshal()
+	bb, _ := b.Marshal()
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("replayed trace produced a different report")
+	}
+}
+
+// TestClosedLoopScenario checks the closed-loop plumbing end to end:
+// every generated request completes even though arrivals are chained
+// through completions.
+func TestClosedLoopScenario(t *testing.T) {
+	sc := smokeScenario(t, 3000)
+	sc.Workload.Kind = workload.Closed
+	sc.Workload.Clients = 32
+	sc.Workload.ThinkSeconds = 0.05
+	sc.Policies = []string{RoundRobin, LeastLoaded}
+	rep, err := RunScenario(context.Background(), sc, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	for _, pr := range rep.Policies {
+		if pr.Requests != sc.Workload.Requests {
+			t.Fatalf("%s: completed %d of %d closed-loop requests", pr.Policy, pr.Requests, sc.Workload.Requests)
+		}
+	}
+}
+
+// TestSingleKeyCoalescingAndHits drives many copies of one content key
+// at one replica: exactly one engine run happens, the arrivals during
+// that run coalesce onto it, and everything after is a cache hit.
+func TestSingleKeyCoalescingAndHits(t *testing.T) {
+	sc := smokeScenario(t, 500)
+	sc.Replicas = sc.Replicas[:1]
+	sc.Workload.Keys = 1
+	sc.Workload.Rate = 1000
+	sc.Policies = []string{RoundRobin}
+	rep, err := RunScenario(context.Background(), sc, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	rr := rep.Policies[0].Replicas[0]
+	if rr.EngineRuns != 1 {
+		t.Fatalf("one key, one replica: %d engine runs, want 1", rr.EngineRuns)
+	}
+	if int(rr.Hits)+rr.Coalesced != sc.Workload.Requests-1 {
+		t.Fatalf("hits %d + coalesced %d should cover the other %d requests",
+			rr.Hits, rr.Coalesced, sc.Workload.Requests-1)
+	}
+	if rr.Coalesced == 0 {
+		t.Fatal("1000 rps against a ~20ms kernel should coalesce some arrivals")
+	}
+}
+
+// TestEnergyAwareSpreadsUnderLoad checks the energy-aware policy is not
+// a degenerate route-to-zero: with identical replicas the eq. 10 rules
+// make a busy incumbent lose on speedup, so load spreads.
+func TestEnergyAwareSpreadsUnderLoad(t *testing.T) {
+	sc := smokeScenario(t, 4000)
+	sc.Workload.Keys = 100000 // effectively no cache hits: pure load test
+	sc.Workload.Rate = 400    // ~2x one i7-950's capacity
+	sc.Policies = []string{EnergyAware}
+	rep, err := RunScenario(context.Background(), sc, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	for _, rr := range rep.Policies[0].Replicas {
+		if rr.Requests == 0 {
+			t.Fatalf("energy-aware starved replica %d: %+v", rr.ID, rep.Policies[0].Replicas)
+		}
+	}
+}
+
+// TestTracerReceivesVirtualSpans checks the -trace plumbing: running
+// with a tracer records bounded, virtually-timestamped replica.serve
+// spans and does not perturb the report.
+func TestTracerReceivesVirtualSpans(t *testing.T) {
+	sc := smokeScenario(t, 3000)
+	base, err := RunScenario(context.Background(), sc, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("untraced run: %v", err)
+	}
+	tr := trace.New(trace.Config{Capacity: 1 << 14})
+	traced, err := RunScenario(context.Background(), sc, Options{Workers: 1, Tracer: tr})
+	if err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	bb, _ := base.Marshal()
+	tb, _ := traced.Marshal()
+	if !bytes.Equal(bb, tb) {
+		t.Fatal("tracing changed the report bytes")
+	}
+	evs := tr.Events()
+	if len(evs) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	if len(evs) > len(PolicyNames())*maxSpansPerPolicy {
+		t.Fatalf("recorded %d spans, cap is %d per policy", len(evs), maxSpansPerPolicy)
+	}
+	for _, ev := range evs {
+		if ev.Name != "replica.serve" {
+			t.Fatalf("unexpected span %q", ev.Name)
+		}
+		if ev.Dur <= 0 || ev.Track == 0 {
+			t.Fatalf("span missing virtual timing: %+v", ev)
+		}
+	}
+}
+
+// TestScenarioCatalogValidates ensures every cataloged scenario is
+// runnable and the 1M entries meet the fleet-scale floor.
+func TestScenarioCatalogValidates(t *testing.T) {
+	for name, sc := range Scenarios() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if name == "smoke" {
+			continue
+		}
+		if sc.Workload.Requests < 1<<20 {
+			t.Errorf("%s: %d requests, fleet scenarios drive >= 1M", name, sc.Workload.Requests)
+		}
+		if len(sc.Replicas) < 8 {
+			t.Errorf("%s: %d replicas, fleet scenarios use >= 8", name, len(sc.Replicas))
+		}
+	}
+}
+
+// TestRunScenarioRejectsInvalid checks scenario validation surfaces
+// through RunScenario.
+func TestRunScenarioRejectsInvalid(t *testing.T) {
+	sc := smokeScenario(t, 100)
+	sc.Replicas[0].Machine = "abacus"
+	if _, err := RunScenario(context.Background(), sc, Options{}); err == nil {
+		t.Fatal("RunScenario accepted an unknown machine")
+	}
+	sc = smokeScenario(t, 100)
+	sc.Policies = []string{"teleport"}
+	if _, err := RunScenario(context.Background(), sc, Options{}); err == nil {
+		t.Fatal("RunScenario accepted an unknown policy")
+	}
+	sc = smokeScenario(t, 100)
+	sc.HitLatency = 0
+	if _, err := RunScenario(context.Background(), sc, Options{}); err == nil {
+		t.Fatal("RunScenario accepted a zero hit latency")
+	}
+}

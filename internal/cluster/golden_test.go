@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden fleet report:
+//
+//	go test ./internal/cluster/ -run TestFleetReportGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenPath is the pinned fleet report for the smoke scenario.
+const goldenPath = "testdata/fleet_golden.json"
+
+// TestFleetReportGolden is the determinism harness's anchor: the smoke
+// scenario's full report must be byte-identical at every worker count
+// AND across commits — any change to the workload generators, the
+// event loop, the policies, the cache, the roofline pricing, or the
+// report encoding shows up as a golden diff that has to be reviewed
+// and re-pinned deliberately.
+func TestFleetReportGolden(t *testing.T) {
+	sc, ok := Scenarios()["smoke"]
+	if !ok {
+		t.Fatal("catalog lost the smoke scenario")
+	}
+	var reports [][]byte
+	for _, workers := range []int{1, 4, 16} {
+		rep, err := RunScenario(context.Background(), sc, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		data, err := rep.Marshal()
+		if err != nil {
+			t.Fatalf("workers=%d: Marshal: %v", workers, err)
+		}
+		reports = append(reports, data)
+	}
+	for i, data := range reports[1:] {
+		if !bytes.Equal(reports[0], data) {
+			t.Fatalf("report at workers=%d differs from workers=1", []int{4, 16}[i])
+		}
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, reports[0], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(reports[0]))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(want, reports[0]) {
+		t.Fatalf("fleet report drifted from %s\nrun `go test ./internal/cluster/ -run TestFleetReportGolden -update` after reviewing the change\ngot %d bytes, want %d", goldenPath, len(reports[0]), len(want))
+	}
+}

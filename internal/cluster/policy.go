@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Routing policy names accepted by NewPolicy and Scenario.Policies.
+const (
+	// RoundRobin cycles through replicas in index order.
+	RoundRobin = "round_robin"
+	// LeastLoaded sends each request to the replica with the shortest
+	// queue (ties to the lowest index).
+	LeastLoaded = "least_loaded"
+	// CacheAffinity routes by consistent hash of the request's content
+	// key, so a key's traffic concentrates on one replica's cache.
+	CacheAffinity = "cache_affinity"
+	// EnergyAware scores candidate replicas with the roofline energy
+	// model and applies the paper's eq. 10 trade-off vocabulary to pick
+	// a destination (see energyAware.Route).
+	EnergyAware = "energy_aware"
+)
+
+// PolicyNames lists every routing policy in canonical report order.
+func PolicyNames() []string {
+	return []string{RoundRobin, LeastLoaded, CacheAffinity, EnergyAware}
+}
+
+// Policy routes one request to a replica index. Route is called from
+// the single-threaded event loop at the request's arrival instant; the
+// fleet argument exposes read-only probes (queue lengths, pending work,
+// cache occupancy) and implementations must not mutate fleet state.
+type Policy interface {
+	// Name returns the policy's canonical name.
+	Name() string
+	// Route picks the destination replica for req at simulation time now.
+	Route(now float64, req workload.Request, f *Fleet) int
+}
+
+// NewPolicy builds the named policy for a fleet of n replicas. The seed
+// parameterises any derived structure (the cache-affinity ring); equal
+// (name, n, seed) triples build identical policies.
+func NewPolicy(name string, n int, seed int64) (Policy, error) {
+	switch name {
+	case RoundRobin:
+		return &roundRobin{n: n}, nil
+	case LeastLoaded:
+		return leastLoaded{}, nil
+	case CacheAffinity:
+		return &cacheAffinity{ring: NewRing(n, seed)}, nil
+	case EnergyAware:
+		return energyAware{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %q (have %v)", name, PolicyNames())
+	}
+}
+
+// roundRobin cycles a counter over the replica indices.
+type roundRobin struct {
+	n    int
+	next int
+}
+
+// Name implements Policy.
+func (p *roundRobin) Name() string { return RoundRobin }
+
+// Route implements Policy.
+func (p *roundRobin) Route(_ float64, _ workload.Request, _ *Fleet) int {
+	r := p.next
+	p.next = (p.next + 1) % p.n
+	return r
+}
+
+// leastLoaded picks the replica with the fewest requests in service or
+// queued, breaking ties toward the lowest index.
+type leastLoaded struct{}
+
+// Name implements Policy.
+func (leastLoaded) Name() string { return LeastLoaded }
+
+// Route implements Policy.
+func (leastLoaded) Route(_ float64, _ workload.Request, f *Fleet) int {
+	best, bestLen := 0, f.reps[0].queueLen()
+	for i := 1; i < len(f.reps); i++ {
+		if l := f.reps[i].queueLen(); l < bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best
+}
+
+// cacheAffinity routes by consistent hash of the content key.
+type cacheAffinity struct {
+	ring *Ring
+}
+
+// Name implements Policy.
+func (p *cacheAffinity) Name() string { return CacheAffinity }
+
+// Route implements Policy.
+func (p *cacheAffinity) Route(_ float64, req workload.Request, _ *Fleet) int {
+	return p.ring.Lookup(req.Key)
+}
+
+// energyAware scores every replica with the roofline model and keeps a
+// running incumbent, applying the paper's eq. 10 classification to each
+// challenger.
+type energyAware struct{}
+
+// Name implements Policy.
+func (energyAware) Name() string { return EnergyAware }
+
+// estimate predicts (completion latency, marginal energy) for sending
+// req to replica i now: a predicted cache hit costs the hit latency and
+// its idle-power energy; a miss waits out the replica's pending work
+// and then runs the kernel, costing the kernel's capped roofline energy
+// (eq. 6/9).
+func (f *Fleet) estimate(now float64, i int, req workload.Request) (t, e float64) {
+	rep := f.reps[i]
+	if rep.cache.Peek(rep.key(req)) {
+		return f.hitLatency, rep.params.Pi0 * f.hitLatency
+	}
+	k := core.KernelAt(req.Work, req.Intensity)
+	return rep.pendingWork(now) + rep.params.CappedTime(k), rep.params.CappedEnergy(k)
+}
+
+// outcomeOf maps a (speedup, greenup) ratio pair onto the paper's
+// eq. 10 vocabulary: ratios above one mean the challenger is faster /
+// greener than the incumbent.
+func outcomeOf(speedup, greenup float64) core.TradeoffOutcome {
+	switch {
+	case speedup > 1 && greenup > 1:
+		return core.Both
+	case speedup > 1:
+		return core.SpeedupOnly
+	case greenup > 1:
+		return core.GreenupOnly
+	default:
+		return core.Neither
+	}
+}
+
+// Route implements Policy. Replica 0 opens as the incumbent; each
+// challenger's predicted time and energy form speedup and greenup
+// ratios against the incumbent, classified per eq. 10. A challenger
+// that achieves Both always wins; GreenupOnly wins if it costs at most
+// 2x the incumbent's latency (spend time to save energy, boundedly);
+// SpeedupOnly wins if it gives back at most 5% of the energy. Neither
+// never wins. The scan order is fixed, so the decision is deterministic.
+func (energyAware) Route(now float64, req workload.Request, f *Fleet) int {
+	best := 0
+	bestT, bestE := f.estimate(now, 0, req)
+	for i := 1; i < len(f.reps); i++ {
+		t, e := f.estimate(now, i, req)
+		speedup, greenup := bestT/t, bestE/e
+		switch outcomeOf(speedup, greenup) {
+		case core.Both:
+			best, bestT, bestE = i, t, e
+		case core.GreenupOnly:
+			if t <= 2*bestT {
+				best, bestT, bestE = i, t, e
+			}
+		case core.SpeedupOnly:
+			if greenup >= 0.95 {
+				best, bestT, bestE = i, t, e
+			}
+		}
+	}
+	return best
+}

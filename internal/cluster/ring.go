@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// vnodesPerReplica is the ring's virtual-node fan-out. 64 points per
+// replica keeps the per-replica load share within a few percent of
+// uniform while the ring stays small enough that a lookup is a cheap
+// binary search.
+const vnodesPerReplica = 64
+
+// Ring is a consistent-hash ring over replica indices: each replica
+// owns vnodesPerReplica pseudo-random points on the 64-bit circle, and
+// a key routes to the owner of the first point at or after the key's
+// hash. The property that matters — pinned by the routing property
+// tests — is minimal disruption: removing one replica from an N-replica
+// ring remaps only the keys that replica owned, about 1/N of the total,
+// while every other key keeps its owner.
+type Ring struct {
+	points []ringPoint
+}
+
+// ringPoint is one virtual node: a position on the circle and the
+// replica that owns it.
+type ringPoint struct {
+	pos     uint64
+	replica int
+}
+
+// NewRing builds a ring over replicas 0..n-1. The point positions are
+// derived deterministically from seed, so equal (n, seed) pairs build
+// identical rings. Ties on the circle (astronomically unlikely with
+// 64-bit points) break toward the lower replica index to keep the
+// ordering total.
+func NewRing(n int, seed int64) *Ring {
+	r := &Ring{points: make([]ringPoint, 0, n*vnodesPerReplica)}
+	for rep := 0; rep < n; rep++ {
+		for v := 0; v < vnodesPerReplica; v++ {
+			pos := stats.DeriveState(seed, labelRing, uint64(rep), uint64(v))
+			r.points = append(r.points, ringPoint{pos: pos, replica: rep})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		return r.points[i].replica < r.points[j].replica
+	})
+	return r
+}
+
+// labelRing derives the ring's point stream from the policy seed.
+const labelRing = 0x52494e47 // "RING"
+
+// Lookup returns the replica owning key. The key is mixed once more
+// through SplitMix64 so sequential or low-entropy keys still spread
+// over the circle.
+func (r *Ring) Lookup(key uint64) int {
+	h := stats.SplitMix64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: first point on the circle
+	}
+	return r.points[i].replica
+}
+
+// Without returns a new ring with every point owned by replica removed
+// — the "replica left the fleet" transition the minimal-disruption
+// property test exercises. Indices of the surviving replicas are
+// unchanged.
+func (r *Ring) Without(replica int) *Ring {
+	out := &Ring{points: make([]ringPoint, 0, len(r.points))}
+	for _, p := range r.points {
+		if p.replica != replica {
+			out.points = append(out.points, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// Scenario is one named fleet experiment: a replica set, a workload
+// spec, the policies to compare, and the hit-path latency.
+type Scenario struct {
+	// Name identifies the scenario (`fleetsim -scenario <name>`).
+	Name string `json:"name"`
+	// Desc states what the scenario stresses.
+	Desc string `json:"description"`
+	// Replicas is the fleet, in index order.
+	Replicas []ReplicaSpec `json:"replicas"`
+	// Workload is the traffic spec driven through the fleet.
+	Workload workload.Spec `json:"workload"`
+	// Policies lists the routing policies to compare, in report order;
+	// empty means PolicyNames().
+	Policies []string `json:"policies,omitempty"`
+	// HitLatency is the simulated seconds a cache hit takes end to end.
+	HitLatency float64 `json:"hit_latency_seconds"`
+}
+
+// Validate reports whether the scenario is runnable: at least one
+// replica on a known machine, a valid workload, known policies, and a
+// positive hit latency.
+func (sc Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("cluster: scenario needs a name")
+	}
+	if len(sc.Replicas) == 0 {
+		return fmt.Errorf("cluster: scenario %q has no replicas", sc.Name)
+	}
+	for i, spec := range sc.Replicas {
+		if _, err := newReplica(i, spec); err != nil {
+			return err
+		}
+	}
+	if err := sc.Workload.Validate(); err != nil {
+		return fmt.Errorf("cluster: scenario %q workload: %v", sc.Name, err)
+	}
+	for _, name := range sc.Policies {
+		if _, err := NewPolicy(name, len(sc.Replicas), 0); err != nil {
+			return err
+		}
+	}
+	if !(sc.HitLatency > 0) {
+		return fmt.Errorf("cluster: scenario %q needs a positive hit latency", sc.Name)
+	}
+	return nil
+}
+
+// i7Replicas builds n identical i7-950 replicas with a cache sized to
+// entries.
+func i7Replicas(n, entries int) []ReplicaSpec {
+	reps := make([]ReplicaSpec, n)
+	for i := range reps {
+		reps[i] = ReplicaSpec{
+			Machine:      "i7-950",
+			Precision:    "double",
+			CacheEntries: entries,
+			CacheBytes:   64 << 20,
+		}
+	}
+	return reps
+}
+
+// defaultHitLatency is the simulated cost of serving from cache: 500µs,
+// small against the ~20ms an i7-950 needs for a 1-gigaflop kernel.
+const defaultHitLatency = 500e-6
+
+// Scenarios returns the scenario catalog keyed by name. The *_1m
+// entries drive one million requests through at least eight replicas —
+// the fleet-scale runs behind BENCH_cluster.json — while smoke is the
+// small variant tests and CI exercise.
+func Scenarios() map[string]Scenario {
+	base := workload.Spec{
+		Kind:        workload.Poisson,
+		Rate:        300,
+		Requests:    1 << 20,
+		Keys:        50000,
+		ZipfS:       1.1,
+		WorkFlops:   1e9,
+		LoIntensity: 0.5,
+		HiIntensity: 8,
+		Seed:        2026,
+	}
+
+	smokeWL := base
+	smokeWL.Requests = 20000
+	smokeWL.Rate = 200
+	smokeWL.Keys = 2000
+
+	burstWL := base
+	burstWL.Kind = workload.MMPP
+	burstWL.Rate = 150
+	burstWL.BurstRate = 900
+	burstWL.CalmDwell = 20
+	burstWL.BurstDwell = 4
+
+	closedWL := base
+	closedWL.Kind = workload.Closed
+	closedWL.Clients = 512
+	closedWL.ThinkSeconds = 1.0
+
+	heteroWL := base
+	heteroWL.Rate = 500
+
+	hetero := append(i7Replicas(4, 4096), make([]ReplicaSpec, 4)...)
+	for i := 4; i < 8; i++ {
+		hetero[i] = ReplicaSpec{
+			Machine:      "gtx580",
+			Precision:    "double",
+			CacheEntries: 4096,
+			CacheBytes:   64 << 20,
+		}
+	}
+
+	return map[string]Scenario{
+		"smoke": {
+			Name:       "smoke",
+			Desc:       "4 i7-950 replicas, 20k Poisson requests: the fast CI/test variant",
+			Replicas:   i7Replicas(4, 1024),
+			Workload:   smokeWL,
+			HitLatency: defaultHitLatency,
+		},
+		"cluster_1m": {
+			Name:       "cluster_1m",
+			Desc:       "8 i7-950 replicas, 1M Poisson requests over a 50k-key Zipf universe",
+			Replicas:   i7Replicas(8, 4096),
+			Workload:   base,
+			HitLatency: defaultHitLatency,
+		},
+		"burst_1m": {
+			Name:       "burst_1m",
+			Desc:       "8 i7-950 replicas, 1M MMPP requests bursting 150 to 900 rps",
+			Replicas:   i7Replicas(8, 4096),
+			Workload:   burstWL,
+			HitLatency: defaultHitLatency,
+		},
+		"closed_1m": {
+			Name:       "closed_1m",
+			Desc:       "8 i7-950 replicas, 1M requests from 512 closed-loop clients",
+			Replicas:   i7Replicas(8, 4096),
+			Workload:   closedWL,
+			HitLatency: defaultHitLatency,
+		},
+		"hetero_1m": {
+			Name:       "hetero_1m",
+			Desc:       "4 i7-950 + 4 gtx580 replicas, 1M Poisson requests: the energy-aware policy's home turf",
+			Replicas:   hetero,
+			Workload:   heteroWL,
+			HitLatency: defaultHitLatency,
+		},
+	}
+}
+
+// ScenarioNames returns the catalog's keys sorted.
+func ScenarioNames() []string {
+	m := Scenarios()
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

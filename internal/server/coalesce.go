@@ -10,6 +10,52 @@ import (
 // becomes the flight's leader and runs the work; later arrivals block
 // on the flight and share the leader's bytes. Determinism is what makes
 // sharing sound — every waiter would have produced exactly these bytes.
+//
+// The mechanism is split in two layers so it can be reused outside a
+// live process. FlightTable is the pure bookkeeping — at most one
+// in-progress execution per key, later arrivals join it — shared by the
+// HTTP server's flightGroup (which adds goroutine blocking on top) and
+// by the cluster simulator's replicas (which resolve flights with
+// virtual-time completion events instead of channels).
+
+// FlightTable tracks at most one in-progress execution per canonical
+// key. F is whatever per-flight state the embedding layer needs: the
+// live server stores a channel-bearing *flight, the simulator stores
+// its waiter list. A FlightTable is not synchronised; callers that
+// share one across goroutines hold their own lock (see flightGroup).
+type FlightTable[F any] struct {
+	m map[uint64]F
+}
+
+// NewFlightTable returns an empty table.
+func NewFlightTable[F any]() *FlightTable[F] {
+	return &FlightTable[F]{m: map[uint64]F{}}
+}
+
+// Begin either joins key's in-progress flight — returning the existing
+// state and joined = true — or registers fresh as the new flight for
+// key, returning fresh and joined = false (the caller is the leader).
+func (t *FlightTable[F]) Begin(key uint64, fresh F) (f F, joined bool) {
+	if existing, ok := t.m[key]; ok {
+		return existing, true
+	}
+	t.m[key] = fresh
+	return fresh, false
+}
+
+// Lookup returns key's in-flight state without registering anything.
+func (t *FlightTable[F]) Lookup(key uint64) (F, bool) {
+	f, ok := t.m[key]
+	return f, ok
+}
+
+// Finish removes key's flight; later arrivals for key lead a new one.
+func (t *FlightTable[F]) Finish(key uint64) {
+	delete(t.m, key)
+}
+
+// Len returns the number of distinct in-progress flights.
+func (t *FlightTable[F]) Len() int { return len(t.m) }
 
 // flight is one in-progress execution and its eventual outcome.
 type flight struct {
@@ -18,15 +64,16 @@ type flight struct {
 	err  error
 }
 
-// flightGroup deduplicates concurrent executions by key.
+// flightGroup deduplicates concurrent executions by key: FlightTable
+// bookkeeping plus goroutine blocking for the waiters.
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[uint64]*flight
+	m  *FlightTable[*flight]
 }
 
 // newFlightGroup returns an empty group.
 func newFlightGroup() *flightGroup {
-	return &flightGroup{m: map[uint64]*flight{}}
+	return &flightGroup{m: NewFlightTable[*flight]()}
 }
 
 // do returns fn's outcome for key, executing fn at most once across all
@@ -37,8 +84,9 @@ func newFlightGroup() *flightGroup {
 // cancel work others still want.
 func (g *flightGroup) do(ctx context.Context, key uint64, fn func() ([]byte, error)) (body []byte, leader bool, err error) {
 	g.mu.Lock()
-	if f, ok := g.m[key]; ok {
-		g.mu.Unlock()
+	f, joined := g.m.Begin(key, &flight{done: make(chan struct{})})
+	g.mu.Unlock()
+	if joined {
 		select {
 		case <-f.done:
 			return f.body, false, f.err
@@ -46,14 +94,11 @@ func (g *flightGroup) do(ctx context.Context, key uint64, fn func() ([]byte, err
 			return nil, false, ctx.Err()
 		}
 	}
-	f := &flight{done: make(chan struct{})}
-	g.m[key] = f
-	g.mu.Unlock()
 
 	f.body, f.err = fn()
 
 	g.mu.Lock()
-	delete(g.m, key)
+	g.m.Finish(key)
 	g.mu.Unlock()
 	close(f.done)
 	return f.body, true, f.err
@@ -63,5 +108,5 @@ func (g *flightGroup) do(ctx context.Context, key uint64, fn func() ([]byte, err
 func (g *flightGroup) inFlight() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return len(g.m)
+	return g.m.Len()
 }

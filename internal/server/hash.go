@@ -57,6 +57,16 @@ func hashCampaign(c campaign.Config) uint64 {
 	return h
 }
 
+// EvalKey returns the canonical content hash of one eval-shaped
+// computation — the exact key POST /v1/eval uses for caching. It is
+// exported for the cluster simulator: a simulated replica addresses its
+// result cache with the very hash the production server would compute
+// for the same (machine, precision, work, intensity) request, so
+// fleet-level hit rates come from the production keying scheme.
+func EvalKey(machineKey, precision string, work, intensity float64) uint64 {
+	return hashEval(evalRequest{Machine: machineKey, Precision: precision, Work: work, Intensity: intensity})
+}
+
 // hashEval returns the canonical key of an eval request. The "eval"
 // domain label keeps eval and campaign keys from ever colliding.
 func hashEval(q evalRequest) uint64 {

@@ -6,13 +6,20 @@ import (
 	"time"
 )
 
-// resultCache is the in-memory LRU result cache: marshalled response
-// bodies keyed by canonical request hash, bounded by entry count and
-// total body bytes, with an optional TTL. Determinism makes this safe:
-// a cached body is bit-for-bit the body a fresh engine run would
-// produce, so the TTL exists only to bound memory residency, never to
-// bound staleness.
-type resultCache struct {
+// ResultCache is the content-addressed LRU result cache: marshalled
+// response bodies keyed by canonical request hash, bounded by entry
+// count and total body bytes, with an optional TTL. Determinism makes
+// this safe: a cached body is bit-for-bit the body a fresh engine run
+// would produce, so the TTL exists only to bound memory residency,
+// never to bound staleness.
+//
+// The type is exported because it is shared infrastructure: the live
+// HTTP server uses one per process, and the cluster simulator
+// (internal/cluster) instantiates one per simulated replica — with an
+// injected virtual clock — so fleet-level cache behaviour is measured
+// on the production eviction/recency/TTL code path, not on a model of
+// it.
+type ResultCache struct {
 	mu         sync.Mutex
 	maxEntries int
 	maxBytes   int64
@@ -21,12 +28,19 @@ type resultCache struct {
 	ll         *list.List // front = most recently used
 	index      map[uint64]*list.Element
 	bytes      int64
-	stats      cacheStats
+	stats      CacheStats
 }
 
-// cacheStats are the cache's lifetime counters.
-type cacheStats struct {
-	hits, misses, evictions, expirations uint64
+// CacheStats are a cache's lifetime counters.
+type CacheStats struct {
+	// Hits counts Get calls that returned a live body.
+	Hits uint64
+	// Misses counts Get calls that found nothing (or an expired entry).
+	Misses uint64
+	// Evictions counts entries dropped to satisfy the size bounds.
+	Evictions uint64
+	// Expirations counts entries dropped because their TTL passed.
+	Expirations uint64
 }
 
 // cacheEntry is one cached response body.
@@ -36,14 +50,15 @@ type cacheEntry struct {
 	expires time.Time // zero when the cache has no TTL
 }
 
-// newResultCache builds a cache holding at most maxEntries bodies and
+// NewResultCache builds a cache holding at most maxEntries bodies and
 // maxBytes total body bytes; entries older than ttl are dropped on
-// access (ttl <= 0 disables expiry). now is injectable for tests.
-func newResultCache(maxEntries int, maxBytes int64, ttl time.Duration, now func() time.Time) *resultCache {
+// access (ttl <= 0 disables expiry). now is injectable for tests and
+// for the cluster simulator's virtual clock; nil means time.Now.
+func NewResultCache(maxEntries int, maxBytes int64, ttl time.Duration, now func() time.Time) *ResultCache {
 	if now == nil {
 		now = time.Now
 	}
-	return &resultCache{
+	return &ResultCache{
 		maxEntries: maxEntries,
 		maxBytes:   maxBytes,
 		ttl:        ttl,
@@ -53,31 +68,45 @@ func newResultCache(maxEntries int, maxBytes int64, ttl time.Duration, now func(
 	}
 }
 
-// get returns the cached body for key and marks it most recently used.
+// Get returns the cached body for key and marks it most recently used.
 // Expired entries are removed and reported as misses.
-func (c *resultCache) get(key uint64) ([]byte, bool) {
+func (c *ResultCache) Get(key uint64) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.index[key]
 	if !ok {
-		c.stats.misses++
+		c.stats.Misses++
 		return nil, false
 	}
 	e := el.Value.(*cacheEntry)
 	if !e.expires.IsZero() && c.now().After(e.expires) {
 		c.removeLocked(el)
-		c.stats.expirations++
-		c.stats.misses++
+		c.stats.Expirations++
+		c.stats.Misses++
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	c.stats.hits++
+	c.stats.Hits++
 	return e.body, true
 }
 
-// put stores body under key, evicting least-recently-used entries until
+// Peek reports whether key holds a live (non-expired) entry without
+// touching recency order or the hit/miss counters — the read routers
+// use to ask "would this replica hit?" before committing a request.
+func (c *ResultCache) Peek(key uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*cacheEntry)
+	return e.expires.IsZero() || !c.now().After(e.expires)
+}
+
+// Put stores body under key, evicting least-recently-used entries until
 // both bounds hold. A body larger than the byte bound is not cached.
-func (c *resultCache) put(key uint64, body []byte) {
+func (c *ResultCache) Put(key uint64, body []byte) {
 	if c.maxEntries <= 0 || int64(len(body)) > c.maxBytes {
 		return
 	}
@@ -102,12 +131,12 @@ func (c *resultCache) put(key uint64, body []byte) {
 			break
 		}
 		c.removeLocked(oldest)
-		c.stats.evictions++
+		c.stats.Evictions++
 	}
 }
 
 // expiry returns the deadline for an entry stored now.
-func (c *resultCache) expiry() time.Time {
+func (c *ResultCache) expiry() time.Time {
 	if c.ttl <= 0 {
 		return time.Time{}
 	}
@@ -115,29 +144,29 @@ func (c *resultCache) expiry() time.Time {
 }
 
 // removeLocked unlinks one entry. Callers hold c.mu.
-func (c *resultCache) removeLocked(el *list.Element) {
+func (c *ResultCache) removeLocked(el *list.Element) {
 	e := el.Value.(*cacheEntry)
 	c.ll.Remove(el)
 	delete(c.index, e.key)
 	c.bytes -= int64(len(e.body))
 }
 
-// len returns the number of live entries.
-func (c *resultCache) len() int {
+// Len returns the number of live entries.
+func (c *ResultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
 
-// sizeBytes returns the total cached body bytes.
-func (c *resultCache) sizeBytes() int64 {
+// SizeBytes returns the total cached body bytes.
+func (c *ResultCache) SizeBytes() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.bytes
 }
 
-// snapshot returns the lifetime counters.
-func (c *resultCache) snapshot() cacheStats {
+// Snapshot returns the lifetime counters.
+func (c *ResultCache) Snapshot() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats

@@ -27,103 +27,103 @@ func (c *fakeClock) advance(d time.Duration) {
 }
 
 func TestCacheLRUEvictionOrder(t *testing.T) {
-	c := newResultCache(3, 1<<20, 0, nil)
-	c.put(1, []byte("one"))
-	c.put(2, []byte("two"))
-	c.put(3, []byte("three"))
+	c := NewResultCache(3, 1<<20, 0, nil)
+	c.Put(1, []byte("one"))
+	c.Put(2, []byte("two"))
+	c.Put(3, []byte("three"))
 	// Touch 1 so it is most recently used; inserting 4 must evict 2.
-	if _, ok := c.get(1); !ok {
+	if _, ok := c.Get(1); !ok {
 		t.Fatal("entry 1 missing")
 	}
-	c.put(4, []byte("four"))
-	if _, ok := c.get(2); ok {
+	c.Put(4, []byte("four"))
+	if _, ok := c.Get(2); ok {
 		t.Error("LRU entry 2 survived eviction")
 	}
 	for _, k := range []uint64{1, 3, 4} {
-		if _, ok := c.get(k); !ok {
+		if _, ok := c.Get(k); !ok {
 			t.Errorf("entry %d evicted unexpectedly", k)
 		}
 	}
-	if c.len() != 3 {
-		t.Errorf("len = %d, want 3", c.len())
+	if c.Len() != 3 {
+		t.Errorf("len = %d, want 3", c.Len())
 	}
-	if s := c.snapshot(); s.evictions != 1 {
-		t.Errorf("evictions = %d, want 1", s.evictions)
+	if s := c.Snapshot(); s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
 	}
 }
 
 func TestCacheByteBound(t *testing.T) {
-	c := newResultCache(100, 10, 0, nil)
-	c.put(1, []byte("aaaa")) // 4 bytes
-	c.put(2, []byte("bbbb")) // 8 total
-	c.put(3, []byte("cccc")) // 12 total -> evict key 1
-	if _, ok := c.get(1); ok {
+	c := NewResultCache(100, 10, 0, nil)
+	c.Put(1, []byte("aaaa")) // 4 bytes
+	c.Put(2, []byte("bbbb")) // 8 total
+	c.Put(3, []byte("cccc")) // 12 total -> evict key 1
+	if _, ok := c.Get(1); ok {
 		t.Error("byte bound not enforced")
 	}
-	if c.sizeBytes() != 8 {
-		t.Errorf("bytes = %d, want 8", c.sizeBytes())
+	if c.SizeBytes() != 8 {
+		t.Errorf("bytes = %d, want 8", c.SizeBytes())
 	}
 	// A body larger than the whole bound is not cached at all.
-	c.put(4, []byte("0123456789ab"))
-	if _, ok := c.get(4); ok {
+	c.Put(4, []byte("0123456789ab"))
+	if _, ok := c.Get(4); ok {
 		t.Error("oversized body was cached")
 	}
-	if c.len() != 2 {
-		t.Errorf("len = %d, want 2", c.len())
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
 	}
 }
 
 func TestCacheTTLExpiry(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
-	c := newResultCache(10, 1<<20, time.Minute, clk.now)
-	c.put(1, []byte("body"))
-	if _, ok := c.get(1); !ok {
+	c := NewResultCache(10, 1<<20, time.Minute, clk.now)
+	c.Put(1, []byte("body"))
+	if _, ok := c.Get(1); !ok {
 		t.Fatal("fresh entry missing")
 	}
 	clk.advance(59 * time.Second)
-	if _, ok := c.get(1); !ok {
+	if _, ok := c.Get(1); !ok {
 		t.Error("entry expired before its TTL")
 	}
 	clk.advance(2 * time.Second) // 61s > 60s TTL
-	if _, ok := c.get(1); ok {
+	if _, ok := c.Get(1); ok {
 		t.Error("entry survived past its TTL")
 	}
-	s := c.snapshot()
-	if s.expirations != 1 {
-		t.Errorf("expirations = %d, want 1", s.expirations)
+	s := c.Snapshot()
+	if s.Expirations != 1 {
+		t.Errorf("expirations = %d, want 1", s.Expirations)
 	}
-	if c.len() != 0 || c.sizeBytes() != 0 {
-		t.Errorf("expired entry not removed: len %d, bytes %d", c.len(), c.sizeBytes())
+	if c.Len() != 0 || c.SizeBytes() != 0 {
+		t.Errorf("expired entry not removed: len %d, bytes %d", c.Len(), c.SizeBytes())
 	}
 	// Re-putting the same key refreshes the expiry.
-	c.put(1, []byte("body"))
+	c.Put(1, []byte("body"))
 	clk.advance(30 * time.Second)
-	c.put(1, []byte("body"))
+	c.Put(1, []byte("body"))
 	clk.advance(45 * time.Second) // 75s after first put, 45s after refresh
-	if _, ok := c.get(1); !ok {
+	if _, ok := c.Get(1); !ok {
 		t.Error("refreshed entry expired on the stale deadline")
 	}
 }
 
 func TestCacheStatsAndDuplicatePut(t *testing.T) {
-	c := newResultCache(10, 1<<20, 0, nil)
-	if _, ok := c.get(7); ok {
+	c := NewResultCache(10, 1<<20, 0, nil)
+	if _, ok := c.Get(7); ok {
 		t.Fatal("empty cache hit")
 	}
-	c.put(7, []byte("abc"))
-	c.put(7, []byte("abcdef")) // same key: replace, not duplicate
-	if c.len() != 1 {
-		t.Errorf("duplicate put created %d entries", c.len())
+	c.Put(7, []byte("abc"))
+	c.Put(7, []byte("abcdef")) // same key: replace, not duplicate
+	if c.Len() != 1 {
+		t.Errorf("duplicate put created %d entries", c.Len())
 	}
-	if c.sizeBytes() != 6 {
-		t.Errorf("bytes = %d, want 6 after replacement", c.sizeBytes())
+	if c.SizeBytes() != 6 {
+		t.Errorf("bytes = %d, want 6 after replacement", c.SizeBytes())
 	}
-	body, ok := c.get(7)
+	body, ok := c.Get(7)
 	if !ok || string(body) != "abcdef" {
 		t.Errorf("got %q", body)
 	}
-	s := c.snapshot()
-	if s.hits != 1 || s.misses != 1 {
+	s := c.Snapshot()
+	if s.Hits != 1 || s.Misses != 1 {
 		t.Errorf("stats = %+v, want 1 hit / 1 miss", s)
 	}
 }
@@ -131,7 +131,7 @@ func TestCacheStatsAndDuplicatePut(t *testing.T) {
 // TestCacheConcurrentAccess exercises the cache under the race
 // detector.
 func TestCacheConcurrentAccess(t *testing.T) {
-	c := newResultCache(16, 1<<20, time.Hour, nil)
+	c := NewResultCache(16, 1<<20, time.Hour, nil)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -139,15 +139,77 @@ func TestCacheConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				k := uint64(i % 32)
-				c.put(k, []byte{byte(k)})
-				if body, ok := c.get(k); ok && body[0] != byte(k) {
+				c.Put(k, []byte{byte(k)})
+				if body, ok := c.Get(k); ok && body[0] != byte(k) {
 					t.Errorf("corrupt body for key %d", k)
 				}
 			}
 		}(g)
 	}
 	wg.Wait()
-	if c.len() > 16 {
-		t.Errorf("entry bound violated: %d", c.len())
+	if c.Len() > 16 {
+		t.Errorf("entry bound violated: %d", c.Len())
+	}
+}
+
+// TestCachePeek pins Peek's contract: no recency bump, no counter
+// movement, TTL respected — the router-side "would this hit?" probe.
+func TestCachePeek(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := NewResultCache(2, 1<<20, time.Minute, clk.now)
+	if c.Peek(1) {
+		t.Error("Peek hit on an empty cache")
+	}
+	c.Put(1, []byte("one"))
+	c.Put(2, []byte("two"))
+	if !c.Peek(1) || !c.Peek(2) {
+		t.Fatal("Peek missed live entries")
+	}
+	// Peek must not refresh recency: after peeking 1, inserting 3 still
+	// evicts 1 (the least recently *used* entry).
+	c.Peek(1)
+	c.Put(3, []byte("three"))
+	if c.Peek(1) {
+		t.Error("Peek refreshed recency; key 1 should have been evicted")
+	}
+	// Peek must not move the counters.
+	before := c.Snapshot()
+	c.Peek(2)
+	c.Peek(99)
+	if after := c.Snapshot(); after != before {
+		t.Errorf("Peek moved counters: %+v -> %+v", before, after)
+	}
+	// Peek respects the TTL.
+	clk.advance(2 * time.Minute)
+	if c.Peek(2) {
+		t.Error("Peek hit an expired entry")
+	}
+}
+
+// TestFlightTableBookkeeping pins the shared singleflight bookkeeping
+// layer both the HTTP server and the cluster simulator build on.
+func TestFlightTableBookkeeping(t *testing.T) {
+	tbl := NewFlightTable[int]()
+	if _, ok := tbl.Lookup(5); ok || tbl.Len() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	if got, joined := tbl.Begin(5, 100); joined || got != 100 {
+		t.Fatalf("first Begin = (%d, %v), want leader with 100", got, joined)
+	}
+	if got, joined := tbl.Begin(5, 200); !joined || got != 100 {
+		t.Fatalf("second Begin = (%d, %v), want join of 100", got, joined)
+	}
+	if got, ok := tbl.Lookup(5); !ok || got != 100 {
+		t.Fatalf("Lookup = (%d, %v)", got, ok)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+	tbl.Finish(5)
+	if _, ok := tbl.Lookup(5); ok || tbl.Len() != 0 {
+		t.Fatal("Finish did not clear the flight")
+	}
+	if _, joined := tbl.Begin(5, 300); joined {
+		t.Fatal("post-Finish Begin should lead a new flight")
 	}
 }

@@ -120,7 +120,7 @@ type engineFunc func(ctx context.Context, cfg campaign.Config, workers int) (*ca
 type Server struct {
 	cfg     Config
 	budget  *parallel.Budget
-	cache   *resultCache
+	cache   *ResultCache
 	flights *flightGroup
 	reg     *metrics.Registry
 	engine  engineFunc
@@ -159,7 +159,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		budget:  parallel.NewBudget(cfg.Workers),
-		cache:   newResultCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheTTL, nil),
+		cache:   NewResultCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheTTL, nil),
 		flights: newFlightGroup(),
 		reg:     metrics.NewRegistry(),
 		engine:  campaign.RunParallel,
@@ -443,7 +443,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := hashEval(q)
-	if body, ok := s.cache.get(key); ok {
+	if body, ok := s.cache.Get(key); ok {
 		s.reg.Counter("cache_hits_total").Inc()
 		sp.Tag("cache", "hit")
 		writeCached(w, key, "hit", body)
@@ -457,7 +457,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.Counter("eval_computes_total").Inc()
-	s.cache.put(key, body)
+	s.cache.Put(key, body)
 	sp.Tag("cache", "miss")
 	writeCached(w, key, "miss", body)
 }
@@ -502,7 +502,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := hashCampaign(cfg)
-	if body, ok := s.cache.get(key); ok {
+	if body, ok := s.cache.Get(key); ok {
 		s.reg.Counter("cache_hits_total").Inc()
 		sp.Tag("cache", "hit")
 		writeCached(w, key, "hit", body)
@@ -538,7 +538,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		data = append(data, '\n')
-		s.cache.put(key, data)
+		s.cache.Put(key, data)
 		return data, nil
 	})
 	if err != nil {
@@ -560,11 +560,11 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 // was rendered.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("requests_metrics_total").Inc()
-	cs := s.cache.snapshot()
-	s.reg.Gauge("cache_entries").Set(int64(s.cache.len()))
-	s.reg.Gauge("cache_bytes").Set(s.cache.sizeBytes())
-	s.reg.Gauge("cache_evictions").Set(int64(cs.evictions))
-	s.reg.Gauge("cache_expirations").Set(int64(cs.expirations))
+	cs := s.cache.Snapshot()
+	s.reg.Gauge("cache_entries").Set(int64(s.cache.Len()))
+	s.reg.Gauge("cache_bytes").Set(s.cache.SizeBytes())
+	s.reg.Gauge("cache_evictions").Set(int64(cs.Evictions))
+	s.reg.Gauge("cache_expirations").Set(int64(cs.Expirations))
 	s.reg.Gauge("workers_budget").Set(int64(s.budget.Cap()))
 	s.reg.Gauge("workers_in_use").Set(int64(s.budget.InUse()))
 	s.reg.Gauge("flights_in_flight").Set(int64(s.flights.inFlight()))

@@ -296,6 +296,64 @@ func (r *Rand) RelNoise(sd float64) float64 {
 	return f
 }
 
+// Exp returns an exponentially distributed sample with the given rate
+// (mean 1/rate) — the inter-arrival draw behind Poisson and
+// Markov-modulated arrival processes. rate must be positive.
+func (r *Rand) Exp(rate float64) float64 {
+	return r.ExpFloat64() / rate
+}
+
+// Zipf samples ranks in [0, n) with P(rank) ∝ 1/(rank+1)^s via a
+// precomputed inverse CDF. Unlike math/rand's Zipf it accepts any
+// exponent s ≥ 0 (s = 0 degenerates to the uniform distribution), which
+// is what synthetic content-popularity workloads need: real request
+// skews cluster around s ≈ 0.6–1.3, straddling math/rand's s > 1
+// requirement. Sampling costs one uniform draw and a binary search; a
+// Zipf is immutable after construction and safe for concurrent use with
+// per-goroutine Rands.
+type Zipf struct {
+	cum []float64 // cum[i] = P(rank <= i), cum[n-1] = 1
+}
+
+// NewZipf builds the sampler for a universe of n ranks and exponent s.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, errors.New("stats: zipf universe must be non-empty")
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, errors.New("stats: zipf exponent must be finite and non-negative")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1 // exact upper bound despite rounding
+	return &Zipf{cum: cum}, nil
+}
+
+// N returns the universe size.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Sample draws one rank using r's stream.
+func (z *Zipf) Sample(r *Rand) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // BootstrapCI returns a (lo, hi) percentile bootstrap confidence
 // interval for the statistic stat over xs at the given confidence level
 // (e.g. 0.95), using rounds resamples drawn from r.

@@ -397,3 +397,85 @@ func TestHashLabelFNVVectors(t *testing.T) {
 		t.Error("distinct machine keys hash equal")
 	}
 }
+
+func TestExpSampler(t *testing.T) {
+	r := NewRand(11)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x := r.Exp(4)
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("Exp sample %d invalid: %v", i, x)
+		}
+		sum += x
+	}
+	if mean := sum / n; mean < 0.23 || mean > 0.27 {
+		t.Errorf("Exp(4) mean = %v, want ~0.25", mean)
+	}
+	// Same seed, same stream.
+	a, b := NewRand(3), NewRand(3)
+	for i := 0; i < 16; i++ {
+		if a.Exp(2) != b.Exp(2) {
+			t.Fatal("Exp streams diverge for equal seeds")
+		}
+	}
+}
+
+func TestZipfSampler(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("empty universe accepted")
+	}
+	if _, err := NewZipf(4, math.NaN()); err == nil {
+		t.Error("NaN exponent accepted")
+	}
+	if _, err := NewZipf(4, -1); err == nil {
+		t.Error("negative exponent accepted")
+	}
+
+	// s = 0 is uniform: every rank roughly equally likely.
+	z, err := NewZipf(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 8)
+	r := NewRand(5)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		rank := z.Sample(r)
+		if rank < 0 || rank >= 8 {
+			t.Fatalf("rank %d out of range", rank)
+		}
+		counts[rank]++
+	}
+	for rank, c := range counts {
+		if c < n/8-n/40 || c > n/8+n/40 {
+			t.Errorf("uniform zipf rank %d count %d, want ~%d", rank, c, n/8)
+		}
+	}
+
+	// Skewed: rank popularity must be monotone non-increasing, with rank
+	// 0 clearly dominant at s = 1.2.
+	z, err = NewZipf(64, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts = make([]int, 64)
+	r = NewRand(6)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] < counts[1] || counts[1] < counts[4] || counts[4] < counts[32] {
+		t.Errorf("zipf counts not skewed: %v", counts[:8])
+	}
+	if float64(counts[0])/n < 0.2 {
+		t.Errorf("rank 0 share %v too small for s=1.2", float64(counts[0])/n)
+	}
+
+	// Determinism: equal seeds give equal rank streams.
+	ra, rb := NewRand(9), NewRand(9)
+	for i := 0; i < 64; i++ {
+		if z.Sample(ra) != z.Sample(rb) {
+			t.Fatal("Zipf streams diverge for equal seeds")
+		}
+	}
+}

@@ -241,7 +241,20 @@ func (s *Span) End() {
 	}
 	t := s.tracer
 	end := t.clock.Now()
-	ev := Event{Name: s.name, Track: s.track, Start: s.start, Dur: end - s.start, Tags: s.tags}
+	t.Record(Event{Name: s.name, Track: s.track, Start: s.start, Dur: end - s.start, Tags: s.tags})
+}
+
+// Record commits a pre-built completed event directly to the ring —
+// the injection path for discrete-event simulators (internal/cluster)
+// that stamp spans with *virtual* timestamps instead of readings from
+// the tracer's clock, yet want the same ring-buffer bounds, Observer
+// hook, and Chrome exporter as live spans. The caller owns Start, Dur,
+// and Track (simulators typically map Track to a replica lane).
+// Nil-safe: recording on a disabled tracer is a no-op.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
 	if t.observer != nil {
 		t.observer(ev.Name, ev.Dur)
 	}

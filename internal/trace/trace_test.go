@@ -172,3 +172,48 @@ func TestConcurrentSpansAreAllRecorded(t *testing.T) {
 		t.Errorf("recorded %d spans, want %d", got, n*10)
 	}
 }
+
+// TestRecordInjectsVirtualSpans pins the simulator injection path: a
+// pre-built event lands in the ring exactly as constructed (virtual
+// start/duration/track), feeds the Observer, respects the ring bound,
+// and is a no-op on a disabled tracer.
+func TestRecordInjectsVirtualSpans(t *testing.T) {
+	var observed []time.Duration
+	tr := New(Config{Capacity: 4, Observer: func(name string, d time.Duration) {
+		if name == "sim.serve" {
+			observed = append(observed, d)
+		}
+	}})
+	ev := Event{
+		Name:  "sim.serve",
+		Track: 7,
+		Start: 1500 * time.Millisecond,
+		Dur:   20 * time.Millisecond,
+		Tags:  []Tag{{Key: "replica", Val: 7}},
+	}
+	tr.Record(ev)
+	events := tr.Events()
+	if len(events) != 1 {
+		t.Fatalf("ring has %d events, want 1", len(events))
+	}
+	got := events[0]
+	if got.Name != ev.Name || got.Track != 7 || got.Start != ev.Start || got.Dur != ev.Dur {
+		t.Errorf("recorded event mangled: %+v", got)
+	}
+	if len(observed) != 1 || observed[0] != 20*time.Millisecond {
+		t.Errorf("observer saw %v, want one 20ms duration", observed)
+	}
+	// Ring bound: recording past capacity overwrites oldest and counts.
+	for i := 0; i < 6; i++ {
+		tr.Record(Event{Name: "sim.serve", Start: time.Duration(i) * time.Second})
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d, want capacity 4", tr.Len())
+	}
+	if tr.Dropped() == 0 {
+		t.Error("overwrites not counted")
+	}
+	// Disabled tracer: no-op.
+	var nilTracer *Tracer
+	nilTracer.Record(ev)
+}
