@@ -96,7 +96,21 @@ type scenario struct {
 	name string
 	desc string
 	fn   func(b *testing.B)
+	// refFn, when set, benchmarks a reference implementation of the same
+	// work (e.g. the scalar loop batch_eval is gated against). It runs in
+	// the same process on the same machine, so -check can enforce
+	// minSpeedup as a hardware-independent ratio rather than an absolute
+	// time. The reference's metrics are recorded under name+"_scalar_ref".
+	refFn func(b *testing.B)
+	// minSpeedup is the refFn-vs-fn speedup -check requires (0 = none).
+	minSpeedup float64
+	// maxAllocs, when non-nil, is a hard allocs/op ceiling -check
+	// enforces on fn regardless of recorded history.
+	maxAllocs *int64
 }
+
+// allocCap builds a scenario allocs/op ceiling.
+func allocCap(n int64) *int64 { return &n }
 
 // scenarios returns the pinned targets, smallest first. Order is part
 // of the contract: CI's smoke step runs the first scenario only.
@@ -106,6 +120,14 @@ func scenarios() []scenario {
 			name: "single_run",
 			desc: "one sim.Engine.RunWith kernel execution (gtx580, derived stream)",
 			fn:   benchSingleRun,
+		},
+		{
+			name:       "batch_eval",
+			desc:       "core.Params.EvalInto: fused 10k-point columnar model sweep into a reused Batch",
+			fn:         benchBatchEval,
+			refFn:      benchBatchEvalScalar,
+			minSpeedup: 5,
+			maxAllocs:  allocCap(0),
 		},
 		{
 			name: "segment_replay",
@@ -142,6 +164,60 @@ func benchSingleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.RunWith(rng, spec); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// batchEvalPoints is the batch_eval sweep size: large enough that the
+// per-point loop dominates and cache effects are realistic, small
+// enough that the scalar reference still finishes quickly.
+const batchEvalPoints = 10000
+
+// batchEvalColumns builds the deterministic (W, Q) sweep both the batch
+// scenario and its scalar reference evaluate: fixed work across a
+// log-spaced intensity grid, with an artificial power cap active so the
+// capped branch is exercised on both sides.
+func batchEvalColumns() (core.Params, []float64, []float64) {
+	p := core.FromMachine(machine.GTX580(), machine.Double)
+	p.PowerCap = 180
+	w := make([]float64, batchEvalPoints)
+	for i := range w {
+		w[i] = 1e9
+	}
+	q := make([]float64, batchEvalPoints)
+	core.QAtInto(q, w, core.LogGrid(1e-3, 1e6, batchEvalPoints))
+	return p, w, q
+}
+
+func benchBatchEval(b *testing.B) {
+	p, w, q := batchEvalColumns()
+	var batch core.Batch
+	batch.Reserve(batchEvalPoints) // steady state: columns pre-sized once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.EvalInto(&batch, w, q)
+	}
+}
+
+// benchBatchEvalScalar is the reference batch_eval is gated against:
+// the same sweep written the way a consumer would without the batch
+// API — one scalar method call per output column per point.
+func benchBatchEvalScalar(b *testing.B) {
+	p, w, q := batchEvalColumns()
+	var batch core.Batch
+	batch.Reserve(batchEvalPoints)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batchEvalPoints; j++ {
+			k := core.Kernel{W: w[j], Q: q[j]}
+			batch.Time[j] = p.Time(k)
+			batch.Energy[j] = p.Energy(k)
+			batch.Power[j] = p.AveragePower(k)
+			batch.CappedTime[j] = p.CappedTime(k)
+			batch.CappedEnergy[j] = p.CappedEnergy(k)
+			batch.CappedPower[j] = p.CappedPower(k)
 		}
 	}
 }
@@ -308,6 +384,7 @@ func main() {
 	check := flag.Bool("check", false, "exit nonzero when a scenario regresses beyond the thresholds against the latest recorded entry")
 	maxSlowdown := flag.Float64("max-slowdown", 1.5, "-check fails when ns/op exceeds recorded*this (<= 0 disables the time check)")
 	maxAllocGrowth := flag.Float64("max-alloc-growth", 1.10, "-check fails when allocs/op exceeds recorded*this (<= 0 disables the alloc check)")
+	refSlack := flag.Float64("ref-speedup-slack", 1.0, "scales a scenario's required speedup over its scalar reference (e.g. 0.5 halves the bar for noisy runners)")
 	update := flag.Bool("update", false, "append this run as a new entry in -bench-file")
 	recordBaseline := flag.Bool("record-baseline", false, "record this run as the fixed baseline block (refuses to overwrite an existing baseline)")
 	pr := flag.Int("pr", 0, "PR number to record with -update/-record-baseline")
@@ -362,6 +439,7 @@ func main() {
 	}
 
 	results := map[string]Metrics{}
+	refSpeedups := map[string]float64{}
 	fmt.Printf("%-12s %14s %14s %12s %10s %10s\n", "scenario", "ns/op", "B/op", "allocs/op", "speedup", "-allocs")
 	for _, s := range selected {
 		m := run(s)
@@ -381,6 +459,15 @@ func main() {
 		}
 		fmt.Printf("%-12s %14d %14d %12d %10s %10s\n",
 			s.name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, speedup, dealloc)
+		if s.refFn != nil {
+			rm := run(scenario{fn: s.refFn})
+			results[s.name+"_scalar_ref"] = rm
+			if m.NsPerOp > 0 {
+				refSpeedups[s.name] = float64(rm.NsPerOp) / float64(m.NsPerOp)
+			}
+			fmt.Printf("%-12s %14d %14d %12d %9.2fx  vs scalar reference\n",
+				"  ref", rm.NsPerOp, rm.BytesPerOp, rm.AllocsPerOp, refSpeedups[s.name])
+		}
 	}
 
 	failed := false
@@ -406,6 +493,18 @@ func main() {
 			if *maxAllocGrowth > 0 && float64(m.AllocsPerOp) > float64(r.AllocsPerOp)**maxAllocGrowth {
 				fmt.Fprintf(os.Stderr, "corebench: REGRESSION %s: %d allocs/op exceeds recorded %d allocs/op x %.2f\n",
 					s.name, m.AllocsPerOp, r.AllocsPerOp, *maxAllocGrowth)
+				failed = true
+			}
+			if s.minSpeedup > 0 {
+				if got := refSpeedups[s.name]; got < s.minSpeedup**refSlack {
+					fmt.Fprintf(os.Stderr, "corebench: REGRESSION %s: %.2fx over the scalar reference, want >= %.2fx\n",
+						s.name, got, s.minSpeedup**refSlack)
+					failed = true
+				}
+			}
+			if s.maxAllocs != nil && *maxAllocGrowth > 0 && m.AllocsPerOp > *s.maxAllocs {
+				fmt.Fprintf(os.Stderr, "corebench: REGRESSION %s: %d allocs/op, scenario ceiling is %d\n",
+					s.name, m.AllocsPerOp, *s.maxAllocs)
 				failed = true
 			}
 		}

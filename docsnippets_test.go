@@ -273,6 +273,58 @@ func TestDocCorebenchScenariosExist(t *testing.T) {
 	}
 }
 
+// TestDocServerEndpointsDocumented parses every route registration
+// (mux.HandleFunc("METHOD /path", …)) out of internal/server's non-test
+// sources and requires each path to appear in docs/SERVER.md, so a new
+// endpoint cannot ship undocumented.
+func TestDocServerEndpointsDocumented(t *testing.T) {
+	root := mustModuleRoot(t)
+	re := regexp.MustCompile(`mux\.HandleFunc\("(?:GET|POST|PUT|DELETE) ([^"]+)"`)
+	routes := map[string]bool{}
+	matches, err := filepath.Glob(filepath.Join(root, "internal", "server", "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range matches {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+			routes[m[1]] = true
+		}
+	}
+	if len(routes) < 5 {
+		t.Fatalf("only %d routes parsed from internal/server; extraction is likely broken", len(routes))
+	}
+	doc, err := os.ReadFile(filepath.Join(root, "docs", "SERVER.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for route := range routes {
+		if strings.Contains(string(doc), route) {
+			continue
+		}
+		// A family of sub-handlers (the /debug/pprof/ profilers) is
+		// documented by its mount point; accept any documented ancestor
+		// directory.
+		covered := false
+		for dir := route; strings.Count(dir, "/") > 1; {
+			dir = dir[:strings.LastIndex(strings.TrimSuffix(dir, "/"), "/")+1]
+			if strings.Contains(string(doc), dir) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("docs/SERVER.md does not document the %s endpoint", route)
+		}
+	}
+}
+
 // TestDocGodocExamplesExist requires every ExampleXxx identifier the
 // docs mention to exist as a godoc example function somewhere in the
 // repository's test sources.

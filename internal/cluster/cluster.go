@@ -181,6 +181,11 @@ func (r *replica) pendingWork(now float64) float64 {
 type Fleet struct {
 	reps       []*replica
 	hitLatency float64
+	// estT and estE are scratch columns the energy-aware policy gathers
+	// per-replica (time, energy) estimates into before classifying them
+	// with the batch eq. 10 vocabulary; reused across Route calls so
+	// routing allocates nothing in steady state.
+	estT, estE []float64
 }
 
 // NumReplicas returns the fleet size.

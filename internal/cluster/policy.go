@@ -126,47 +126,56 @@ func (f *Fleet) estimate(now float64, i int, req workload.Request) (t, e float64
 	return rep.pendingWork(now) + rep.params.CappedTime(k), rep.params.CappedEnergy(k)
 }
 
-// outcomeOf maps a (speedup, greenup) ratio pair onto the paper's
-// eq. 10 vocabulary: ratios above one mean the challenger is faster /
-// greener than the incumbent.
-func outcomeOf(speedup, greenup float64) core.TradeoffOutcome {
-	switch {
-	case speedup > 1 && greenup > 1:
-		return core.Both
-	case speedup > 1:
-		return core.SpeedupOnly
-	case greenup > 1:
-		return core.GreenupOnly
-	default:
-		return core.Neither
+// estimateInto gathers the per-replica (time, energy) estimates for req
+// into the fleet's scratch columns, growing them only on the first call
+// for a given fleet size.
+func (f *Fleet) estimateInto(now float64, req workload.Request) (t, e []float64) {
+	n := len(f.reps)
+	if cap(f.estT) < n {
+		f.estT = make([]float64, n)
+		f.estE = make([]float64, n)
 	}
+	t, e = f.estT[:n], f.estE[:n]
+	for i := 0; i < n; i++ {
+		t[i], e[i] = f.estimate(now, i, req)
+	}
+	return t, e
 }
 
-// Route implements Policy. Replica 0 opens as the incumbent; each
-// challenger's predicted time and energy form speedup and greenup
-// ratios against the incumbent, classified per eq. 10. A challenger
-// that achieves Both always wins; GreenupOnly wins if it costs at most
-// 2x the incumbent's latency (spend time to save energy, boundedly);
-// SpeedupOnly wins if it gives back at most 5% of the energy. Neither
-// never wins. The scan order is fixed, so the decision is deterministic.
-func (energyAware) Route(now float64, req workload.Request, f *Fleet) int {
+// routeFromEstimates runs the incumbent scan over gathered (time,
+// energy) columns. Replica 0 opens as the incumbent; each challenger's
+// speedup and greenup ratios against the incumbent are classified with
+// core.ClassifyRatios per eq. 10. A challenger that achieves Both always
+// wins; GreenupOnly wins if it costs at most 2x the incumbent's latency
+// (spend time to save energy, boundedly); SpeedupOnly wins if it gives
+// back at most 5% of the energy. Neither never wins. The scan order is
+// fixed, so the decision is deterministic.
+func routeFromEstimates(t, e []float64) int {
 	best := 0
-	bestT, bestE := f.estimate(now, 0, req)
-	for i := 1; i < len(f.reps); i++ {
-		t, e := f.estimate(now, i, req)
-		speedup, greenup := bestT/t, bestE/e
-		switch outcomeOf(speedup, greenup) {
+	bestT, bestE := t[0], e[0]
+	for i := 1; i < len(t); i++ {
+		ti, ei := t[i], e[i]
+		speedup, greenup := bestT/ti, bestE/ei
+		switch core.ClassifyRatios(speedup, greenup) {
 		case core.Both:
-			best, bestT, bestE = i, t, e
+			best, bestT, bestE = i, ti, ei
 		case core.GreenupOnly:
-			if t <= 2*bestT {
-				best, bestT, bestE = i, t, e
+			if ti <= 2*bestT {
+				best, bestT, bestE = i, ti, ei
 			}
 		case core.SpeedupOnly:
 			if greenup >= 0.95 {
-				best, bestT, bestE = i, t, e
+				best, bestT, bestE = i, ti, ei
 			}
 		}
 	}
 	return best
+}
+
+// Route implements Policy: it gathers every replica's estimate into the
+// fleet's scratch columns and applies the eq. 10 incumbent scan (see
+// routeFromEstimates).
+func (energyAware) Route(now float64, req workload.Request, f *Fleet) int {
+	t, e := f.estimateInto(now, req)
+	return routeFromEstimates(t, e)
 }

@@ -137,11 +137,14 @@ func (o TradeoffOutcome) String() string {
 	}
 }
 
-// Classify evaluates the trade-off exactly (full model, π0 included)
-// and reports which of speedup/greenup it achieves.
-func (p Params) Classify(base Kernel, t Tradeoff) TradeoffOutcome {
-	speed := p.Speedup(base, t) > 1
-	green := p.Greenup(base, t) > 1
+// ClassifyRatios maps a (speedup, greenup) ratio pair onto the eq. (10)
+// vocabulary: ratios above one mean the transformed algorithm is faster
+// / greener than the baseline. It is the shared classifier behind
+// Classify, the batch ClassifyInto kernels, and the cluster router's
+// energy-aware policy.
+func ClassifyRatios(speedup, greenup float64) TradeoffOutcome {
+	speed := speedup > 1
+	green := greenup > 1
 	switch {
 	case speed && green:
 		return Both
@@ -152,6 +155,12 @@ func (p Params) Classify(base Kernel, t Tradeoff) TradeoffOutcome {
 	default:
 		return Neither
 	}
+}
+
+// Classify evaluates the trade-off exactly (full model, π0 included)
+// and reports which of speedup/greenup it achieves.
+func (p Params) Classify(base Kernel, t Tradeoff) TradeoffOutcome {
+	return ClassifyRatios(p.Speedup(base, t), p.Greenup(base, t))
 }
 
 // LogGrid returns n intensities spaced evenly in log2 between lo and hi

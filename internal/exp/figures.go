@@ -25,10 +25,8 @@ func runFig2a(cfg Config) (*Report, error) {
 	grid := core.LogGrid(0.5, 512, 61)
 	roof := make([]float64, len(grid))
 	arch := make([]float64, len(grid))
-	for i, x := range grid {
-		roof[i] = p.RooflineTime(x)
-		arch[i] = p.ArchlineEnergy(x)
-	}
+	p.RooflineTimeInto(roof, grid)
+	p.ArchlineEnergyInto(arch, grid)
 	c := &chart.Chart{
 		Title:  "Fig 2a: roofline (time) vs arch line (energy), Fermi Table II, π0=0",
 		XLabel: "Intensity (flop:byte)",
@@ -67,9 +65,10 @@ func runFig2b(cfg Config) (*Report, error) {
 	p := core.FromMachine(machine.FermiTableII(), machine.Double)
 	grid := core.LogGrid(0.5, 512, 61)
 	line := make([]float64, len(grid))
+	p.PowerLineInto(line, grid)
 	pf := p.PiFlop()
-	for i, x := range grid {
-		line[i] = p.PowerLine(x) / pf
+	for i := range line {
+		line[i] /= pf
 	}
 	c := &chart.Chart{
 		Title:  "Fig 2b: power line, Fermi Table II, π0=0",
@@ -108,10 +107,12 @@ func runFig2b(cfg Config) (*Report, error) {
 
 func argmaxPower(p core.Params) float64 {
 	grid := core.LogGrid(0.25, 1024, 241)
+	vals := make([]float64, len(grid))
+	p.PowerLineInto(vals, grid)
 	best, bestP := grid[0], 0.0
-	for _, x := range grid {
-		if v := p.PowerLine(x); v > bestP {
-			best, bestP = x, v
+	for i, v := range vals {
+		if v > bestP {
+			best, bestP = grid[i], v
 		}
 	}
 	return best
@@ -188,10 +189,8 @@ func figure4(prec machine.Precision, id string) func(Config) (*Report, error) {
 			grid := core.LogGrid(0.25, fc.hiI, 49)
 			modelT := make([]float64, len(grid))
 			modelE := make([]float64, len(grid))
-			for i, x := range grid {
-				modelT[i] = p.RooflineTime(x)
-				modelE[i] = p.ArchlineEnergy(x)
-			}
+			p.RooflineTimeInto(modelT, grid)
+			p.ArchlineEnergyInto(modelE, grid)
 			var mx, mt, me []float64
 			var maxDevT, maxDevE float64
 			for _, pt := range pts {
@@ -299,10 +298,8 @@ func figure5(prec machine.Precision, id string) func(Config) (*Report, error) {
 			grid := core.LogGrid(0.25, fc.hiI, 49)
 			model := make([]float64, len(grid))
 			capped := make([]float64, len(grid))
-			for i, x := range grid {
-				model[i] = p.PowerLine(x)
-				capped[i] = p.CappedPowerLine(x)
-			}
+			p.PowerLineInto(model, grid)
+			p.CappedPowerLineInto(capped, grid)
 			var mx, mp []float64
 			maxMeasured := 0.0
 			for _, pt := range pts {

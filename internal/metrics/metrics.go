@@ -69,6 +69,82 @@ func Evaluate(p core.Params, k core.Kernel) (Score, error) {
 	}, nil
 }
 
+// ScoreColumns holds the columnar figures of merit EvaluateBatch fills:
+// column c, row i is the same number Evaluate would report for point i.
+// Reusing one ScoreColumns value across calls reuses the storage.
+type ScoreColumns struct {
+	// Time and Energy are the eq. (3) and eq. (4) cost columns.
+	Time, Energy []float64
+	// EDP and ED2P are E·T and E·T² per point.
+	EDP, ED2P []float64
+	// FlopsPerJoule is W/E per point.
+	FlopsPerJoule []float64
+	// FlopsPerSecond is W/T per point.
+	FlopsPerSecond []float64
+	// GreenIndex is (W/E)·ε̂flop per point.
+	GreenIndex []float64
+	// SpeedIndex is (W/T)·τflop per point.
+	SpeedIndex []float64
+}
+
+// grow returns s resized to length n, reusing capacity when possible.
+func grow(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+// Reserve sizes every column to n points, reusing existing capacity.
+func (s *ScoreColumns) Reserve(n int) {
+	s.Time = grow(s.Time, n)
+	s.Energy = grow(s.Energy, n)
+	s.EDP = grow(s.EDP, n)
+	s.ED2P = grow(s.ED2P, n)
+	s.FlopsPerJoule = grow(s.FlopsPerJoule, n)
+	s.FlopsPerSecond = grow(s.FlopsPerSecond, n)
+	s.GreenIndex = grow(s.GreenIndex, n)
+	s.SpeedIndex = grow(s.SpeedIndex, n)
+}
+
+// EvaluateBatch computes every figure of merit over the (W, Q) columns
+// in one pass, writing into out (sized via Reserve). Each column is
+// bit-identical to a loop of Evaluate calls; like Evaluate, it rejects
+// any point with non-positive work.
+func EvaluateBatch(p core.Params, out *ScoreColumns, w, q []float64) error {
+	if len(q) != len(w) {
+		return errors.New("metrics: W and Q columns must have equal length")
+	}
+	for _, wi := range w {
+		if wi <= 0 {
+			return errors.New("metrics: kernel must have positive work")
+		}
+	}
+	n := len(w)
+	out.Reserve(n)
+	tf, tm, ef, em, pi0 := p.TauFlop, p.TauMem, p.EpsFlop, p.EpsMem, p.Pi0
+	efHat := p.EpsFlopHat()
+	tc, ec := out.Time[:n], out.Energy[:n]
+	edp, ed2p := out.EDP[:n], out.ED2P[:n]
+	fpj, fps := out.FlopsPerJoule[:n], out.FlopsPerSecond[:n]
+	gi, si := out.GreenIndex[:n], out.SpeedIndex[:n]
+	w, q = w[:n], q[:n]
+	for i := 0; i < n; i++ {
+		wi, qi := w[i], q[i]
+		t := math.Max(wi*tf, qi*tm)
+		e := wi*ef + qi*em + pi0*t
+		tc[i] = t
+		ec[i] = e
+		edp[i] = e * t
+		ed2p[i] = e * t * t
+		fpj[i] = wi / e
+		fps[i] = wi / t
+		gi[i] = (wi / e) * efHat
+		si[i] = (wi / t) * tf
+	}
+	return nil
+}
+
 // BestIntensityFor returns the intensity in [lo, hi] that optimises the
 // given EDⁿP exponent for a fixed-work kernel (lower EDⁿP is better),
 // found on a dense log grid. For n = 0 (energy) the optimum is always

@@ -31,6 +31,51 @@ import (
 // are identical to the probe-every-visit search.
 func AutoTune(eng *sim.Engine, prec machine.Precision) (sim.Tuning, float64, error) {
 	scores := make(map[sim.Tuning]float64, 64)
+	var fresh []sim.Tuning
+	var specs []sim.KernelSpec
+	var runs []sim.Run
+	// batchScore probes every distinct not-yet-scored tuning in cands —
+	// in first-visit order, two probe kernels each — with one RunBatch
+	// call, and memoizes the scores. The engine's sequential noise
+	// stream sees exactly the draws one-at-a-time probeScore calls would
+	// make for the same fresh tunings, so the memo contents are
+	// bit-identical to sequential probing.
+	batchScore := func(cands []sim.Tuning) error {
+		fresh = fresh[:0]
+	next:
+		for _, c := range cands {
+			if _, ok := scores[c]; ok {
+				continue
+			}
+			for _, f := range fresh {
+				if f == c {
+					continue next
+				}
+			}
+			fresh = append(fresh, c)
+		}
+		if len(fresh) == 0 {
+			return nil
+		}
+		specs = specs[:0]
+		for _, c := range fresh {
+			compute, memory := probeSpecs(prec, c)
+			specs = append(specs, compute, memory)
+		}
+		if cap(runs) < len(specs) {
+			runs = make([]sim.Run, len(specs))
+		}
+		runs = runs[:len(specs)]
+		if err := eng.RunBatch(nil, specs, runs); err != nil {
+			return err
+		}
+		for i, c := range fresh {
+			fl := specs[2*i].W / float64(runs[2*i].Duration)
+			bw := specs[2*i+1].Q / float64(runs[2*i+1].Duration)
+			scores[c] = math.Sqrt(fl * bw)
+		}
+		return nil
+	}
 	score := func(t sim.Tuning) (float64, error) {
 		if s, ok := scores[t]; ok {
 			return s, nil
@@ -43,30 +88,46 @@ func AutoTune(eng *sim.Engine, prec machine.Precision) (sim.Tuning, float64, err
 		return s, nil
 	}
 
-	best := sim.Tuning{Threads: 256, BlockSize: 64, Unroll: 4, RequestsPerThread: 2}
+	// Coarse grid over powers of two, opened by the seed point. Every
+	// grid candidate carries the seed's Unroll and RequestsPerThread
+	// (those knobs only move in the hill climb), so the whole candidate
+	// list is known up front and probed as one batch.
+	seed := sim.Tuning{Threads: 256, BlockSize: 64, Unroll: 4, RequestsPerThread: 2}
+	grid := make([]sim.Tuning, 0, 1+8*5)
+	grid = append(grid, seed)
+	for _, th := range []int{64, 128, 256, 512, 1024, 2048, 4096, 8192} {
+		for _, bs := range []int{32, 64, 128, 256, 512} {
+			grid = append(grid, sim.Tuning{Threads: th, BlockSize: bs, Unroll: seed.Unroll, RequestsPerThread: seed.RequestsPerThread})
+		}
+	}
+	if err := batchScore(grid); err != nil {
+		return sim.Tuning{}, 0, err
+	}
+	best := seed
 	bestScore, err := score(best)
 	if err != nil {
 		return sim.Tuning{}, 0, err
 	}
-
-	// Coarse grid over powers of two.
-	for _, th := range []int{64, 128, 256, 512, 1024, 2048, 4096, 8192} {
-		for _, bs := range []int{32, 64, 128, 256, 512} {
-			t := sim.Tuning{Threads: th, BlockSize: bs, Unroll: best.Unroll, RequestsPerThread: best.RequestsPerThread}
-			s, err := score(t)
-			if err != nil {
-				return sim.Tuning{}, 0, err
-			}
-			if s > bestScore {
-				best, bestScore = t, s
-			}
+	for _, t := range grid[1:] {
+		s, err := score(t)
+		if err != nil {
+			return sim.Tuning{}, 0, err
+		}
+		if s > bestScore {
+			best, bestScore = t, s
 		}
 	}
-	// Coordinate descent on the remaining knobs (and refinement of all).
+	// Coordinate descent on the remaining knobs (and refinement of all):
+	// each iteration's neighbour ring is known before the scan, so its
+	// fresh members are probed as one batch per iteration.
 	improved := true
 	for iter := 0; improved && iter < 16; iter++ {
 		improved = false
-		for _, cand := range neighbours(best) {
+		ring := neighbours(best)
+		if err := batchScore(ring); err != nil {
+			return sim.Tuning{}, 0, err
+		}
+		for _, cand := range ring {
 			s, err := score(cand)
 			if err != nil {
 				return sim.Tuning{}, 0, err
@@ -111,24 +172,29 @@ func neighbours(t sim.Tuning) []sim.Tuning {
 	return out
 }
 
-// probeScore measures a tuning with two probes — one compute-bound,
-// one memory-bound — and combines their throughputs geometrically. Two
-// probes keep the search landscape informative even when one regime is
-// power-throttled: a throttled probe's duration stops responding to
-// tuning quality, but the other probe's duration still does.
+// probeSpecs returns the two probe kernels a tuning is scored with: one
+// compute-bound, one memory-bound. Two probes keep the search landscape
+// informative even when one regime is power-throttled: a throttled
+// probe's duration stops responding to tuning quality, but the other
+// probe's duration still does.
+func probeSpecs(prec machine.Precision, t sim.Tuning) (compute, memory sim.KernelSpec) {
+	compute = sim.KernelSpec{W: 1e9, Q: 1e5, Precision: prec, Tuning: t}
+	memory = sim.KernelSpec{W: 1e4, Q: 1e9, Precision: prec, Tuning: t}
+	return compute, memory
+}
+
+// probeScore measures a tuning's two probes as one batch on the
+// engine's sequential stream and combines their throughputs
+// geometrically.
 func probeScore(eng *sim.Engine, prec machine.Precision, t sim.Tuning) (float64, error) {
-	compute := sim.KernelSpec{W: 1e9, Q: 1e5, Precision: prec, Tuning: t}
-	rc, err := eng.Run(compute)
-	if err != nil {
+	var specs [2]sim.KernelSpec
+	specs[0], specs[1] = probeSpecs(prec, t)
+	var runs [2]sim.Run
+	if err := eng.RunBatch(nil, specs[:], runs[:]); err != nil {
 		return 0, err
 	}
-	memory := sim.KernelSpec{W: 1e4, Q: 1e9, Precision: prec, Tuning: t}
-	rm, err := eng.Run(memory)
-	if err != nil {
-		return 0, err
-	}
-	fl := compute.W / float64(rc.Duration)
-	bw := memory.Q / float64(rm.Duration)
+	fl := specs[0].W / float64(runs[0].Duration)
+	bw := specs[1].Q / float64(runs[1].Duration)
 	return math.Sqrt(fl * bw), nil
 }
 
@@ -377,6 +443,10 @@ func FitEq9(points []Point) (*Coefficients, *regress.Result, error) {
 	var haveS, haveD bool
 	X := make([][]float64, 0, len(points))
 	y := make([]float64, 0, len(points))
+	// One flat block backs every design-matrix row: the capacity is
+	// exact, so the appends below never reallocate and the row slices
+	// stay valid — len(points)+2 allocations become 3.
+	cols := make([]float64, 0, 4*len(points))
 	for _, p := range points {
 		if p.W <= 0 {
 			return nil, nil, errors.New("microbench: point with non-positive W")
@@ -387,7 +457,8 @@ func FitEq9(points []Point) (*Coefficients, *regress.Result, error) {
 		} else {
 			haveD = true
 		}
-		X = append(X, []float64{1, p.Q / p.W, float64(p.Time) / p.W, r})
+		cols = append(cols, 1, p.Q/p.W, float64(p.Time)/p.W, r)
+		X = append(X, cols[len(cols)-4:len(cols):len(cols)])
 		y = append(y, float64(p.Energy)/p.W)
 	}
 	if !haveS || !haveD {

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+)
+
+// POST /v1/evalbatch: the columnar counterpart of /v1/eval. One request
+// carries whole (work, intensity) columns for a single (machine,
+// precision); the response carries one evalResponse per point, computed
+// through the internal/core batch path (bit-identical to the scalar
+// path /v1/eval uses — a batch of one returns exactly the /v1/eval
+// result object). The whole batch is content-addressed by one canonical
+// hash, so identical batches cache as one entry and concurrent
+// identical batches coalesce into one evaluation like /v1/campaign.
+
+// evalBatchRequest is the POST /v1/evalbatch body. Work is optional:
+// omit it for the /v1/eval default of 1e9 flops per point, or provide
+// exactly one entry per intensity (zero entries take the default).
+type evalBatchRequest struct {
+	Machine     string    `json:"machine"`
+	Precision   string    `json:"precision"`
+	Work        []float64 `json:"work,omitempty"`
+	Intensities []float64 `json:"intensities"`
+}
+
+// evalBatchResponse is the POST /v1/evalbatch reply: one /v1/eval
+// result object per requested point, in request order.
+type evalBatchResponse struct {
+	Machine   string         `json:"machine"`
+	Precision string         `json:"precision"`
+	Count     int            `json:"count"`
+	Results   []evalResponse `json:"results"`
+}
+
+// checkEvalBatch validates a batch request, filling defaults in place —
+// before hashing, so a request with omitted work keys identically to
+// one spelling the 1e9 defaults out.
+func (s *Server) checkEvalBatch(q *evalBatchRequest) error {
+	if _, ok := machine.Catalog()[q.Machine]; !ok {
+		return badRequest("unknown machine %q", q.Machine)
+	}
+	if _, err := parsePrecision(q.Precision); err != nil {
+		return err
+	}
+	n := len(q.Intensities)
+	if n == 0 {
+		return badRequest("evalbatch: need at least one intensity")
+	}
+	if n > s.cfg.MaxBatchPoints {
+		return badRequest("evalbatch: %d points exceed this server's limit of %d", n, s.cfg.MaxBatchPoints)
+	}
+	switch len(q.Work) {
+	case 0:
+		q.Work = make([]float64, n)
+	case n:
+	default:
+		return badRequest("evalbatch: work has %d entries but intensities has %d (one per point, or omit for the default)",
+			len(q.Work), n)
+	}
+	for i := range q.Work {
+		if q.Work[i] == 0 {
+			q.Work[i] = 1e9
+		}
+	}
+	for i, col := range [2][]float64{q.Work, q.Intensities} {
+		name := [2]string{"work", "intensities"}[i]
+		for j, v := range col {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return badRequest("%s[%d] must be finite", name, j)
+			}
+			if v <= 0 {
+				return badRequest("%s[%d] must be positive", name, j)
+			}
+		}
+	}
+	return nil
+}
+
+// evaluateBatch computes the batch response body on the columnar model
+// path. Every per-point number matches what evaluate() returns for the
+// same (machine, precision, work, intensity) — the batch kernels are
+// bit-identical to the scalar methods, and the curve columns are taken
+// over the raw request intensities exactly as /v1/eval does.
+func evaluateBatch(q evalBatchRequest) ([]byte, error) {
+	prec, err := parsePrecision(q.Precision)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.Catalog()[q.Machine]
+	p := core.FromMachine(m, prec)
+	n := len(q.Intensities)
+
+	qcol := make([]float64, n)
+	core.QAtInto(qcol, q.Work, q.Intensities)
+	var sc metrics.ScoreColumns
+	if err := metrics.EvaluateBatch(p, &sc, q.Work, qcol); err != nil {
+		return nil, badRequest("evalbatch: %v", err)
+	}
+	var b core.Batch
+	p.EvalInto(&b, q.Work, qcol)
+	tb := make([]core.BoundState, n)
+	eb := make([]core.BoundState, n)
+	p.TimeBoundInto(tb, q.Work, qcol)
+	p.EnergyBoundInto(eb, q.Work, qcol)
+	roof := make([]float64, n)
+	arch := make([]float64, n)
+	pl := make([]float64, n)
+	p.RooflineTimeInto(roof, q.Intensities)
+	p.ArchlineEnergyInto(arch, q.Intensities)
+	p.PowerLineInto(pl, q.Intensities)
+
+	precName := prec.String()
+	bt, be, he := p.BalanceTime(), p.BalanceEnergy(), p.HalfEfficiencyIntensity()
+	rth := p.RaceToHaltEffective()
+	results := make([]evalResponse, n)
+	for i := range results {
+		results[i] = evalResponse{
+			Machine:        q.Machine,
+			Precision:      precName,
+			Work:           q.Work[i],
+			Intensity:      q.Intensities[i],
+			Time:           sc.Time[i],
+			Energy:         sc.Energy[i],
+			AvgPower:       b.Power[i],
+			CappedTime:     b.CappedTime[i],
+			CappedEnergy:   b.CappedEnergy[i],
+			CappedPower:    b.CappedPower[i],
+			TimeBound:      tb[i].String(),
+			EnergyBound:    eb[i].String(),
+			BalanceTime:    bt,
+			BalanceEnergy:  be,
+			HalfEfficiency: he,
+			RooflineTime:   roof[i],
+			ArchlineEnergy: arch[i],
+			PowerLine:      pl[i],
+			RaceToHalt:     rth,
+			EDP:            sc.EDP[i],
+			FlopsPerJoule:  sc.FlopsPerJoule[i],
+			FlopsPerSecond: sc.FlopsPerSecond[i],
+			GreenIndex:     sc.GreenIndex[i],
+			SpeedIndex:     sc.SpeedIndex[i],
+		}
+	}
+	resp := evalBatchResponse{Machine: q.Machine, Precision: precName, Count: n, Results: results}
+	data, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// handleEvalBatch implements POST /v1/evalbatch: cache lookup by one
+// canonical batch hash, then singleflight evaluation — a batch can be
+// thousands of points, so unlike /v1/eval concurrent identical batches
+// coalesce into one computation like campaigns do.
+func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("requests_evalbatch_total").Inc()
+	start := time.Now()
+	defer func() { s.reg.Latency("latency_evalbatch").Observe(time.Since(start)) }()
+	_, sp := s.tracer.StartRoot(r.Context(), "http.evalbatch")
+	defer sp.End()
+
+	var q evalBatchRequest
+	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &q); err != nil {
+		sp.Tag("error", "bad_body")
+		s.writeError(w, err)
+		return
+	}
+	if err := s.checkEvalBatch(&q); err != nil {
+		sp.Tag("error", "invalid")
+		s.writeError(w, err)
+		return
+	}
+	key := hashEvalBatch(q)
+	if body, ok := s.cache.Get(key); ok {
+		s.reg.Counter("cache_hits_total").Inc()
+		sp.Tag("cache", "hit")
+		writeCached(w, key, "hit", body)
+		return
+	}
+	s.reg.Counter("cache_misses_total").Inc()
+
+	body, leader, err := s.flights.do(r.Context(), key, func() ([]byte, error) {
+		s.reg.Counter("evalbatch_computes_total").Inc()
+		data, err := s.batchEval(q)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, data)
+		return data, nil
+	})
+	if err != nil {
+		sp.Tag("error", "eval")
+		s.writeError(w, err)
+		return
+	}
+	source := "miss"
+	if !leader {
+		source = "coalesced"
+		s.reg.Counter("coalesced_total").Inc()
+	}
+	sp.Tag("cache", source)
+	writeCached(w, key, source, body)
+}

@@ -77,3 +77,19 @@ func hashEval(q evalRequest) uint64 {
 	h = foldFloat(h, q.Intensity)
 	return h
 }
+
+// hashEvalBatch returns the canonical key of a batch eval request:
+// one hash for the whole batch, folding every point in order after
+// checkEvalBatch has filled the work defaults (so an omitted work
+// column keys identically to an explicit all-default one).
+func hashEvalBatch(q evalBatchRequest) uint64 {
+	h := foldString(fold(0, hashVersion), "evalbatch")
+	h = foldString(h, q.Machine)
+	h = foldString(h, q.Precision)
+	h = fold(h, uint64(len(q.Intensities)))
+	for i := range q.Intensities {
+		h = foldFloat(h, q.Work[i])
+		h = foldFloat(h, q.Intensities[i])
+	}
+	return h
+}

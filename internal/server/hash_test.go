@@ -62,6 +62,37 @@ func TestHashEvalDomainSeparation(t *testing.T) {
 	}
 }
 
+func TestHashEvalBatchCanonical(t *testing.T) {
+	base := evalBatchRequest{Machine: "gtx580", Precision: "double",
+		Work: []float64{1e9, 2e9}, Intensities: []float64{1, 4}}
+	h := hashEvalBatch(base)
+	same := evalBatchRequest{Machine: "gtx580", Precision: "double",
+		Work: []float64{1e9, 2e9}, Intensities: []float64{1, 4}}
+	if hashEvalBatch(same) != h {
+		t.Error("identical batches hash differently")
+	}
+	mutations := map[string]evalBatchRequest{
+		"machine":   {Machine: "fermi", Precision: "double", Work: []float64{1e9, 2e9}, Intensities: []float64{1, 4}},
+		"precision": {Machine: "gtx580", Precision: "single", Work: []float64{1e9, 2e9}, Intensities: []float64{1, 4}},
+		"work":      {Machine: "gtx580", Precision: "double", Work: []float64{1e9, 3e9}, Intensities: []float64{1, 4}},
+		"intensity": {Machine: "gtx580", Precision: "double", Work: []float64{1e9, 2e9}, Intensities: []float64{1, 8}},
+		"order":     {Machine: "gtx580", Precision: "double", Work: []float64{2e9, 1e9}, Intensities: []float64{4, 1}},
+		"length":    {Machine: "gtx580", Precision: "double", Work: []float64{1e9}, Intensities: []float64{1}},
+	}
+	for name, q := range mutations {
+		if hashEvalBatch(q) == h {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+	// A batch of one never collides with the equivalent single eval key:
+	// the domain labels differ.
+	one := evalBatchRequest{Machine: "gtx580", Precision: "double",
+		Work: []float64{1e9}, Intensities: []float64{4}}
+	if hashEvalBatch(one) == hashEval(evalRequest{Machine: "gtx580", Precision: "double", Work: 1e9, Intensity: 4}) {
+		t.Error("evalbatch/eval hash domains collide")
+	}
+}
+
 func TestFlightGroupCoalesces(t *testing.T) {
 	g := newFlightGroup()
 	var runs atomic.Int64

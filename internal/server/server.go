@@ -25,6 +25,7 @@
 //	GET  /healthz      liveness probe
 //	GET  /v1/machines  the platform catalog with derived balance points
 //	POST /v1/eval      single roofline/energy model query
+//	POST /v1/evalbatch columnar batch model query (cached, coalesced)
 //	POST /v1/campaign  full tune→sweep→fit campaign (cached, coalesced)
 //	GET  /metrics      plain-text operational counters
 //
@@ -84,6 +85,9 @@ type Config struct {
 	MaxPoints int
 	// MaxReps caps a campaign request's repetitions per point.
 	MaxReps int
+	// MaxBatchPoints caps the number of points in one /v1/evalbatch
+	// request.
+	MaxBatchPoints int
 	// MaxBodyBytes caps a request body.
 	MaxBodyBytes int64
 	// Debug enables the observability surface: per-request span tracing
@@ -107,6 +111,7 @@ func DefaultConfig() Config {
 		RequestTimeout: 2 * time.Minute,
 		MaxPoints:      4096,
 		MaxReps:        4096,
+		MaxBatchPoints: 4096,
 		MaxBodyBytes:   1 << 20,
 	}
 }
@@ -124,7 +129,10 @@ type Server struct {
 	flights *flightGroup
 	reg     *metrics.Registry
 	engine  engineFunc
-	mux     *http.ServeMux
+	// batchEval computes one /v1/evalbatch body; tests substitute a
+	// counting stub to assert coalescing, like engine for campaigns.
+	batchEval func(q evalBatchRequest) ([]byte, error)
+	mux       *http.ServeMux
 	tracer  *trace.Tracer // nil unless cfg.Debug
 
 	baseCtx context.Context
@@ -152,6 +160,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxReps == 0 {
 		cfg.MaxReps = def.MaxReps
 	}
+	if cfg.MaxBatchPoints == 0 {
+		cfg.MaxBatchPoints = def.MaxBatchPoints
+	}
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = def.MaxBodyBytes
 	}
@@ -166,6 +177,7 @@ func New(cfg Config) *Server {
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
+	s.batchEval = evaluateBatch
 	if cfg.Debug {
 		s.tracer = trace.New(trace.Config{
 			Capacity: cfg.TraceCapacity,
@@ -178,6 +190,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/machines", s.handleMachines)
 	mux.HandleFunc("POST /v1/eval", s.handleEval)
+	mux.HandleFunc("POST /v1/evalbatch", s.handleEvalBatch)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.Debug {

@@ -381,6 +381,27 @@ func (e *Engine) runInto(rng *stats.Rand, spec KernelSpec, out *Run) error {
 	return nil
 }
 
+// RunBatch executes specs in order, writing record i into out[i]. The
+// noise draws and arithmetic are exactly a sequential loop of RunWith
+// calls on the same source, so the records are bit-identical to that
+// loop; out provides the storage, so steady-state reuse allocates
+// nothing. A nil rng uses the engine's own sequential stream (like Run),
+// in which case RunBatch is not safe for concurrent use.
+func (e *Engine) RunBatch(rng *stats.Rand, specs []KernelSpec, out []Run) error {
+	if len(out) != len(specs) {
+		return fmt.Errorf("sim: RunBatch needs len(out) == len(specs) (got %d != %d)", len(out), len(specs))
+	}
+	if rng == nil {
+		rng = e.rng
+	}
+	for i := range specs {
+		if err := e.runInto(rng, specs[i], &out[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RunWithCtx is RunWith under a context: when ctx carries a
 // trace.Tracer the kernel execution is recorded as a "sim.run" span
 // tagged with the precision and whether the power cap throttled the
