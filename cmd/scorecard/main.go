@@ -1,0 +1,126 @@
+// Command scorecard runs the model-accuracy scorecard
+// (internal/model/scorecard): for every (machine, precision) pair it
+// fits the blackbox regression, measures a held-out intensity sweep,
+// and scores both the analytic and the blackbox EnergyModel against it
+// — per-quantity relative-error tables, full error CDFs, breakdown
+// regions, and the accuracy-based auto-selection. See docs/MODELS.md
+// for how to read the output.
+//
+// The report is byte-identical at any -workers value (the determinism
+// the golden test pins), so scorecard artifacts diff cleanly across
+// commits.
+//
+// Usage:
+//
+//	go run ./cmd/scorecard                       # whole catalog, print the table
+//	go run ./cmd/scorecard -machines gtx580      # one machine
+//	go run ./cmd/scorecard -json scorecard.json  # machine-readable report ("-" for stdout)
+//	go run ./cmd/scorecard -md -                 # summary as a markdown table
+//	go run ./cmd/scorecard -svg figs -png figs   # energy error-CDF figure per pair
+//	go run ./cmd/scorecard -fast                 # smaller campaign (CI artifact)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/model/scorecard"
+)
+
+func main() {
+	machines := flag.String("machines", "", "comma-separated catalog keys (default: whole catalog)")
+	seed := flag.Int64("seed", 7, "root seed for fit and held-out measurement noise")
+	workers := flag.Int("workers", 0, "concurrent (machine, precision) cells; <1 means one per CPU")
+	fast := flag.Bool("fast", false, "smaller fit and eval campaigns (CI smoke size)")
+	jsonPath := flag.String("json", "", "write the full scorecard JSON here (\"-\" for stdout)")
+	mdPath := flag.String("md", "", "write the summary as a markdown table here (\"-\" for stdout)")
+	svgDir := flag.String("svg", "", "write one energy error-CDF SVG per pair into this directory")
+	pngDir := flag.String("png", "", "write one energy error-CDF PNG per pair into this directory")
+	flag.Parse()
+
+	cfg := scorecard.Config{Seed: *seed, Workers: *workers}
+	if *machines != "" {
+		cfg.Machines = strings.Split(*machines, ",")
+	}
+	if *fast {
+		cfg.FitPoints = 5
+		cfg.FitReps = 3
+		cfg.EvalPoints = 9
+		cfg.EvalReps = 2
+	}
+	sc, err := scorecard.Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scorecard:", err)
+		os.Exit(1)
+	}
+	fmt.Print(sc.Render())
+
+	if *jsonPath != "" {
+		data, err := sc.ToJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scorecard:", err)
+			os.Exit(1)
+		}
+		if *jsonPath == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "scorecard:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *mdPath != "" {
+		md := sc.MarkdownTable()
+		if *mdPath == "-" {
+			os.Stdout.WriteString(md)
+		} else if err := os.WriteFile(*mdPath, []byte(md), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "scorecard:", err)
+			os.Exit(1)
+		}
+	}
+
+	for i := range sc.Cards {
+		card := &sc.Cards[i]
+		name := fmt.Sprintf("scorecard_%s_%s_energy", card.Machine, card.Precision)
+		c := scorecard.CDFChart(card, "energy")
+		if *svgDir != "" {
+			svg, err := c.RenderSVG()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scorecard:", err)
+				os.Exit(1)
+			}
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "scorecard:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(filepath.Join(*svgDir, name+".svg"), []byte(svg), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "scorecard:", err)
+				os.Exit(1)
+			}
+		}
+		if *pngDir != "" {
+			if err := os.MkdirAll(*pngDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "scorecard:", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*pngDir, name+".png"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scorecard:", err)
+				os.Exit(1)
+			}
+			if err := c.RenderPNG(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "scorecard:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "scorecard:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 var docFiles = []string{
 	"README.md",
 	"docs/MODEL.md",
+	"docs/MODELS.md",
 	"docs/SERVER.md",
 	"docs/ARCHITECTURE.md",
 	"docs/OBSERVABILITY.md",
@@ -321,6 +322,53 @@ func TestDocServerEndpointsDocumented(t *testing.T) {
 		}
 		if !covered {
 			t.Errorf("docs/SERVER.md does not document the %s endpoint", route)
+		}
+	}
+}
+
+// modelNames parses the registered EnergyModel names out of
+// internal/model's const block, so doc checks track the real registry.
+func modelNames(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(root, "internal", "model", "model.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`\w+Name = "([a-z0-9_]+)"`)
+	names := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+		names[m[1]] = true
+	}
+	if len(names) < 2 {
+		t.Fatalf("only %d model names parsed from internal/model/model.go; extraction is likely broken", len(names))
+	}
+	return names
+}
+
+// TestDocModelNamesDocumented requires every registered EnergyModel
+// name to be documented — backticked — in docs/MODELS.md, and the
+// /v1/models endpoint plus the model request field to be covered in
+// docs/SERVER.md, so a new model cannot ship undocumented (the pattern
+// of TestDocServerEndpointsDocumented).
+func TestDocModelNamesDocumented(t *testing.T) {
+	root := mustModuleRoot(t)
+	names := modelNames(t, root)
+	models, err := os.ReadFile(filepath.Join(root, "docs", "MODELS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range names {
+		if !strings.Contains(string(models), "`"+name+"`") {
+			t.Errorf("docs/MODELS.md does not document the registered model `%s`", name)
+		}
+	}
+	server, err := os.ReadFile(filepath.Join(root, "docs", "SERVER.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"/v1/models", `"model"`} {
+		if !strings.Contains(string(server), needle) {
+			t.Errorf("docs/SERVER.md does not mention %s", needle)
 		}
 	}
 }

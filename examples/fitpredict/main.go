@@ -1,8 +1,11 @@
 // Fit-and-predict: the workflow a performance tuner runs on their own
 // machine. Measure a small microbenchmark campaign, fit the eq. (9)
-// energy coefficients, and then use the fitted model — never the ground
-// truth — to predict the energy of application-shaped kernels and to
-// read off the machine's balance points.
+// energy coefficients, and then predict the cost of application-shaped
+// kernels — never touching the ground truth — through the pluggable
+// EnergyModel interface (docs/MODELS.md): the fitted coefficients
+// wrapped as an analytic model side by side with the blackbox
+// regression, so the two modelling philosophies answer the same
+// queries.
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -33,18 +37,32 @@ func main() {
 		mr.Coefficients.EpsSingle*1e12, mr.Coefficients.EpsDouble*1e12,
 		mr.Coefficients.EpsMem*1e12, mr.Coefficients.Pi0)
 
-	// Model built purely from the fit.
+	// Two EnergyModels built purely from measurements, never the ground
+	// truth: the fitted coefficients wrapped as the paper's closed forms,
+	// and the blackbox regression (its own simulated campaign, see
+	// docs/MODELS.md).
 	p := roofline.FromMachine(mr.Fitted, roofline.Double)
+	analytic := model.NewAnalytic(p)
+	blackbox, err := model.For(model.BlackboxName, "gtx580", machine.Double)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("fitted model: Bτ=%.2f, B̂ε(y=½)=%.2f flop/byte, race-to-halt=%v\n\n",
 		p.BalanceTime(), p.HalfEfficiencyIntensity(), p.RaceToHaltEffective())
 
-	// Predict fresh measurements the fit never saw.
+	// Predict fresh measurements neither fit ever saw, through the one
+	// interface both implement.
 	truth := machine.Catalog()["gtx580"]
 	eng, err := sim.New(truth, sim.DefaultConfig(2026))
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("%10s %14s %14s %10s\n", "I (fl/B)", "measured E", "predicted E", "error")
+	models := []model.EnergyModel{analytic, blackbox}
+	fmt.Printf("%10s %14s", "I (fl/B)", "measured E")
+	for _, em := range models {
+		fmt.Printf(" %14s %8s", em.Name()+" E", "error")
+	}
+	fmt.Println()
 	for _, i := range []float64{0.7, 3, 11} {
 		k := core.KernelAt(2e9, i)
 		runs, err := eng.RunRepeated(sim.KernelSpec{
@@ -53,15 +71,17 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		mt, me, _, err := sim.Aggregate(runs)
+		_, me, _, err := sim.Aggregate(runs)
 		if err != nil {
 			panic(err)
 		}
-		pred := p.TwoLevelEnergyAt(k, float64(mt))
-		fmt.Printf("%10.3g %14s %14s %9.1f%%\n",
-			i, units.FormatSI(float64(me), "J", 4), units.FormatSI(pred, "J", 4),
-			(pred/float64(me)-1)*100)
+		fmt.Printf("%10.3g %14s", i, units.FormatSI(float64(me), "J", 4))
+		for _, em := range models {
+			pred := em.CappedEnergy(k)
+			fmt.Printf(" %14s %7.1f%%", units.FormatSI(pred, "J", 4), (pred/float64(me)-1)*100)
+		}
+		fmt.Println()
 	}
-	fmt.Println("\nthe fitted coefficients generalise: this is the fit-once, predict-")
-	fmt.Println("forever loop the paper's Table IV enables on real hardware.")
+	fmt.Println("\nboth predictors generalise: fit once, predict forever — and the")
+	fmt.Println("scorecard (go run ./cmd/scorecard) says which to trust where.")
 }

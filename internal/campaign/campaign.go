@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/microbench"
+	"repro/internal/model"
 	"repro/internal/parallel"
 	"repro/internal/powermon"
 	"repro/internal/sim"
@@ -49,6 +50,12 @@ type Config struct {
 	UsePowerMon bool `json:"use_powermon"`
 	// Seed drives all noise.
 	Seed int64 `json:"seed"`
+	// Model, when set, names an EnergyModel ("analytic" or "blackbox")
+	// to check against the campaign's own measured sweep points; the
+	// per-machine residuals land in MachineResult.ModelCheck. Empty
+	// skips the check and keeps the campaign artifact byte-identical
+	// to the pre-interface output.
+	Model string `json:"model,omitempty"`
 }
 
 // Default returns the standard campaign over both measured platforms.
@@ -101,6 +108,9 @@ func (c Config) Validate() error {
 	if c.VolumeBytes <= 0 {
 		return errors.New("campaign: volume must be positive")
 	}
+	if !model.Known(c.Model) {
+		return fmt.Errorf("campaign: unknown model %q (registered: %s)", c.Model, strings.Join(model.Names(), ", "))
+	}
 	return nil
 }
 
@@ -136,6 +146,27 @@ type MachineResult struct {
 	// campaign's primary artifact.
 	Fitted *machine.Machine
 	// Points is the number of observations behind the fit.
+	Points int
+	// ModelCheck holds the residuals of the configured EnergyModel
+	// against this machine's measured sweep points; nil unless
+	// Config.Model is set (so default campaign artifacts are
+	// byte-identical to the pre-interface output).
+	ModelCheck *ModelCheck `json:",omitempty"`
+}
+
+// ModelCheck summarises how one EnergyModel's predictions compare to
+// the campaign's own measured sweep observations (capped predictions
+// against throttle-inclusive measurements).
+type ModelCheck struct {
+	// Model names the checked EnergyModel.
+	Model string
+	// MedianRelErrTime and MaxRelErrTime summarise the per-observation
+	// time relative errors |predicted/measured − 1|.
+	MedianRelErrTime, MaxRelErrTime float64
+	// MedianRelErrEnergy and MaxRelErrEnergy summarise the energy
+	// relative errors the same way.
+	MedianRelErrEnergy, MaxRelErrEnergy float64
+	// Points is the number of observations checked.
 	Points int
 }
 
@@ -290,7 +321,51 @@ func runMachine(ctx context.Context, cfg Config, mi int, workers int) (MachineRe
 		}
 	}
 	mr.Fitted = fittedMachine(m, coef)
+	if cfg.Model != "" {
+		mc, err := checkModel(cfg.Model, key, pts)
+		if err != nil {
+			return MachineResult{}, err
+		}
+		mr.ModelCheck = mc
+	}
 	return mr, nil
+}
+
+// checkModel scores the named EnergyModel's capped predictions against
+// the campaign's measured sweep observations. Each precision resolves
+// its own model instance (a blackbox fit is per precision); the
+// summary pools both precisions' residuals.
+func checkModel(name, machineKey string, pts []microbench.Point) (*ModelCheck, error) {
+	models := map[machine.Precision]model.EnergyModel{}
+	for _, prec := range []machine.Precision{machine.Single, machine.Double} {
+		em, err := model.For(name, machineKey, prec)
+		if err != nil {
+			return nil, err
+		}
+		models[prec] = em
+	}
+	timeErr := make([]float64, 0, len(pts))
+	energyErr := make([]float64, 0, len(pts))
+	for _, pt := range pts {
+		em := models[pt.Precision]
+		k := core.Kernel{W: pt.W, Q: pt.Q}
+		timeErr = append(timeErr, stats.RelErr(em.CappedTime(k), float64(pt.Time)))
+		energyErr = append(energyErr, stats.RelErr(em.CappedEnergy(k), float64(pt.Energy)))
+	}
+	medT, err := stats.Median(timeErr)
+	if err != nil {
+		return nil, err
+	}
+	medE, err := stats.Median(energyErr)
+	if err != nil {
+		return nil, err
+	}
+	mc := &ModelCheck{Model: name, MedianRelErrTime: medT, MedianRelErrEnergy: medE, Points: len(pts)}
+	for i := range timeErr {
+		mc.MaxRelErrTime = math.Max(mc.MaxRelErrTime, timeErr[i])
+		mc.MaxRelErrEnergy = math.Max(mc.MaxRelErrEnergy, energyErr[i])
+	}
+	return mc, nil
 }
 
 // fittedMachine builds a machine description whose energy parameters

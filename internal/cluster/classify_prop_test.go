@@ -39,7 +39,7 @@ func TestEnergyAwareBatchClassifierProperty(t *testing.T) {
 				}
 				ts, es = ts[:n], es[:n]
 				for i := 0; i < n; i++ {
-					ts[i], es[i] = f.estimate(now, i, req)
+					ts[i], es[i] = f.estimate(now, i, f.reps[i].model, req)
 				}
 
 				// Scalar reference scan, classifier inlined.

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/model"
 	"repro/internal/parallel"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -45,6 +46,13 @@ type ReplicaSpec struct {
 	// CacheTTLSeconds expires cached entries after this much simulated
 	// time (0 disables expiry).
 	CacheTTLSeconds float64 `json:"cache_ttl_seconds,omitempty"`
+	// Model names the EnergyModel the energy-aware router prices this
+	// replica's misses with ("analytic" or "blackbox"; empty means
+	// analytic, which routes byte-identically to the pre-interface
+	// simulator). Service times and served-energy accounting always
+	// use the analytic closed forms — the replica's simulated hardware
+	// is the roofline; Model only changes the router's beliefs.
+	Model string `json:"model,omitempty"`
 }
 
 // Options parameterise RunScenario.
@@ -81,6 +89,7 @@ type replica struct {
 	id      int
 	spec    ReplicaSpec
 	params  core.Params
+	model   model.EnergyModel // prices router estimates; analytic unless spec.Model overrides
 	cache   *server.ResultCache
 	flights *server.FlightTable[*simFlight]
 
@@ -135,7 +144,11 @@ func newReplica(i int, spec ReplicaSpec) (*replica, error) {
 	default:
 		return nil, fmt.Errorf("cluster: replica %d has unknown precision %q", i, spec.Precision)
 	}
-	r := &replica{id: i, spec: spec, params: core.FromMachine(m, prec)}
+	em, err := model.For(spec.Model, spec.Machine, prec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
+	}
+	r := &replica{id: i, spec: spec, params: core.FromMachine(m, prec), model: em}
 	r.cache = server.NewResultCache(
 		spec.CacheEntries,
 		spec.CacheBytes,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/model"
 	"repro/internal/workload"
 )
 
@@ -113,22 +114,26 @@ type energyAware struct{}
 func (energyAware) Name() string { return EnergyAware }
 
 // estimate predicts (completion latency, marginal energy) for sending
-// req to replica i now: a predicted cache hit costs the hit latency and
-// its idle-power energy; a miss waits out the replica's pending work
-// and then runs the kernel, costing the kernel's capped roofline energy
-// (eq. 6/9).
-func (f *Fleet) estimate(now float64, i int, req workload.Request) (t, e float64) {
+// req to replica i now, pricing a miss with the EnergyModel em: a
+// predicted cache hit costs the hit latency and its idle-power energy;
+// a miss waits out the replica's pending work and then runs the
+// kernel, costing em's capped time and energy predictions (eq. 6/9
+// under the default analytic model).
+func (f *Fleet) estimate(now float64, i int, em model.EnergyModel, req workload.Request) (t, e float64) {
 	rep := f.reps[i]
 	if rep.cache.Peek(rep.key(req)) {
 		return f.hitLatency, rep.params.Pi0 * f.hitLatency
 	}
 	k := core.KernelAt(req.Work, req.Intensity)
-	return rep.pendingWork(now) + rep.params.CappedTime(k), rep.params.CappedEnergy(k)
+	return rep.pendingWork(now) + em.CappedTime(k), em.CappedEnergy(k)
 }
 
 // estimateInto gathers the per-replica (time, energy) estimates for req
 // into the fleet's scratch columns, growing them only on the first call
-// for a given fleet size.
+// for a given fleet size. Each replica is priced by its own EnergyModel
+// (ReplicaSpec.Model; analytic by default, which makes the gathered
+// columns — and therefore every routing decision — byte-identical to
+// the pre-interface router).
 func (f *Fleet) estimateInto(now float64, req workload.Request) (t, e []float64) {
 	n := len(f.reps)
 	if cap(f.estT) < n {
@@ -137,7 +142,7 @@ func (f *Fleet) estimateInto(now float64, req workload.Request) (t, e []float64)
 	}
 	t, e = f.estT[:n], f.estE[:n]
 	for i := 0; i < n; i++ {
-		t[i], e[i] = f.estimate(now, i, req)
+		t[i], e[i] = f.estimate(now, i, f.reps[i].model, req)
 	}
 	return t, e
 }

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// EvaluateModel computes the Score of kernel k with costs predicted by
+// em. The machine-relative normalizers (GreenIndex's ε̂flop, SpeedIndex's
+// τflop) always come from p — they are properties of the machine, not
+// of whichever model predicts the kernel's cost. With an Analytic model
+// over the same p this is bit-identical to Evaluate (pinned by test).
+func EvaluateModel(em model.EnergyModel, p core.Params, k core.Kernel) (Score, error) {
+	if k.W <= 0 {
+		return Score{}, errors.New("metrics: kernel must have positive work")
+	}
+	t := em.Time(k)
+	e := em.Energy(k)
+	return Score{
+		Time:           t,
+		Energy:         e,
+		EDP:            EDP(e, t),
+		ED2P:           e * t * t,
+		FlopsPerJoule:  k.W / e,
+		FlopsPerSecond: k.W / t,
+		GreenIndex:     (k.W / e) * p.EpsFlopHat(),
+		SpeedIndex:     (k.W / t) * p.TauFlop,
+	}, nil
+}
+
+// EvaluateBatchModel is EvaluateBatch through an EnergyModel: em fills
+// b's cost columns (all six, so callers can also read the power and
+// capped columns afterwards), and the figures of merit derive from
+// them. With an Analytic model over the same p every column is
+// bit-identical to EvaluateBatch — the fused loop there computes the
+// same expressions in the same association order as core's EvalInto.
+// A nil b uses a local scratch batch.
+func EvaluateBatchModel(em model.EnergyModel, p core.Params, out *ScoreColumns, b *core.Batch, w, q []float64) error {
+	if len(q) != len(w) {
+		return errors.New("metrics: W and Q columns must have equal length")
+	}
+	for _, wi := range w {
+		if wi <= 0 {
+			return errors.New("metrics: kernel must have positive work")
+		}
+	}
+	if b == nil {
+		b = &core.Batch{}
+	}
+	n := len(w)
+	em.EvalInto(b, w, q)
+	out.Reserve(n)
+	tf := p.TauFlop
+	efHat := p.EpsFlopHat()
+	tc, ec := out.Time[:n], out.Energy[:n]
+	edp, ed2p := out.EDP[:n], out.ED2P[:n]
+	fpj, fps := out.FlopsPerJoule[:n], out.FlopsPerSecond[:n]
+	gi, si := out.GreenIndex[:n], out.SpeedIndex[:n]
+	bt, be := b.Time[:n], b.Energy[:n]
+	w = w[:n]
+	for i := 0; i < n; i++ {
+		wi := w[i]
+		t := bt[i]
+		e := be[i]
+		tc[i] = t
+		ec[i] = e
+		edp[i] = e * t
+		ed2p[i] = e * t * t
+		fpj[i] = wi / e
+		fps[i] = wi / t
+		gi[i] = (wi / e) * efHat
+		si[i] = (wi / t) * tf
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// modelTrialColumns returns deterministic pseudo-random (W, Q) columns
+// spanning memory-bound through compute-bound kernels.
+func modelTrialColumns(n int, seed int64) (w, q []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	w = make([]float64, n)
+	q = make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = math.Pow(10, 3+10*rng.Float64())
+		q[i] = w[i] / math.Pow(2, -6+14*rng.Float64())
+	}
+	return w, q
+}
+
+// TestEvaluateModelAnalyticLockstep pins the consumer-refactor
+// guarantee at the metrics layer: Evaluate/EvaluateBatch and their
+// EnergyModel counterparts with the default Analytic model agree
+// bit-for-bit, scalar and columnar, across the catalog.
+func TestEvaluateModelAnalyticLockstep(t *testing.T) {
+	w, q := modelTrialColumns(256, 0x5C07E5)
+	for key, m := range machine.Catalog() {
+		for _, prec := range []machine.Precision{machine.Double, machine.Single} {
+			p := core.FromMachine(m, prec)
+			em := model.NewAnalytic(p)
+
+			for i := range w {
+				k := core.Kernel{W: w[i], Q: q[i]}
+				direct, err := Evaluate(p, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				viaModel, err := EvaluateModel(em, p, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if direct != viaModel {
+					t.Fatalf("%s/%v kernel %d: EvaluateModel(analytic) != Evaluate:\n%+v\n%+v",
+						key, prec, i, viaModel, direct)
+				}
+			}
+
+			var direct, viaModel ScoreColumns
+			if err := EvaluateBatch(p, &direct, w, q); err != nil {
+				t.Fatal(err)
+			}
+			if err := EvaluateBatchModel(em, p, &viaModel, nil, w, q); err != nil {
+				t.Fatal(err)
+			}
+			cols := map[string][2][]float64{
+				"Time":           {direct.Time, viaModel.Time},
+				"Energy":         {direct.Energy, viaModel.Energy},
+				"EDP":            {direct.EDP, viaModel.EDP},
+				"ED2P":           {direct.ED2P, viaModel.ED2P},
+				"FlopsPerJoule":  {direct.FlopsPerJoule, viaModel.FlopsPerJoule},
+				"FlopsPerSecond": {direct.FlopsPerSecond, viaModel.FlopsPerSecond},
+				"GreenIndex":     {direct.GreenIndex, viaModel.GreenIndex},
+				"SpeedIndex":     {direct.SpeedIndex, viaModel.SpeedIndex},
+			}
+			for name, pair := range cols {
+				for i := range w {
+					if math.Float64bits(pair[0][i]) != math.Float64bits(pair[1][i]) {
+						t.Fatalf("%s/%v %s[%d]: batch-model %v != batch %v",
+							key, prec, name, i, pair[1][i], pair[0][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateModelErrors mirrors the scalar/batch error contract.
+func TestEvaluateModelErrors(t *testing.T) {
+	p := core.FromMachine(machine.GTX580(), machine.Double)
+	em := model.NewAnalytic(p)
+	if _, err := EvaluateModel(em, p, core.Kernel{W: 0, Q: 1}); err == nil {
+		t.Error("zero work accepted")
+	}
+	var sc ScoreColumns
+	if err := EvaluateBatchModel(em, p, &sc, nil, []float64{1e9}, []float64{1e8, 1}); err == nil {
+		t.Error("ragged columns accepted")
+	}
+	if err := EvaluateBatchModel(em, p, &sc, nil, []float64{-1}, []float64{1}); err == nil {
+		t.Error("negative work accepted")
+	}
+}
+
+// TestEvaluateBatchModelFillsBatch verifies the caller-visible batch:
+// all six cost columns arrive filled, so consumers (the server's
+// evalbatch) can read power and capped columns after one call.
+func TestEvaluateBatchModelFillsBatch(t *testing.T) {
+	p := core.FromMachine(machine.GTX580(), machine.Double)
+	em := model.NewAnalytic(p)
+	w, q := modelTrialColumns(16, 1)
+	var sc ScoreColumns
+	var b core.Batch
+	if err := EvaluateBatchModel(em, p, &sc, &b, w, q); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != len(w) {
+		t.Fatalf("batch holds %d points, want %d", b.Len(), len(w))
+	}
+	for i := range w {
+		k := core.Kernel{W: w[i], Q: q[i]}
+		if math.Float64bits(b.Power[i]) != math.Float64bits(p.AveragePower(k)) {
+			t.Fatalf("Power[%d] = %v, want %v", i, b.Power[i], p.AveragePower(k))
+		}
+		if math.Float64bits(b.CappedTime[i]) != math.Float64bits(p.CappedTime(k)) {
+			t.Fatalf("CappedTime[%d] = %v, want %v", i, b.CappedTime[i], p.CappedTime(k))
+		}
+	}
+}

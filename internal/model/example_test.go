@@ -1,0 +1,33 @@
+package model_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// ExampleEnergyModel evaluates both registered models on one catalog
+// machine. The analytic numbers are the paper's closed forms (eqs. 3-4
+// via internal/core); the blackbox numbers come from a regression
+// fitted on simulated measurements, so the two disagree exactly where
+// the closed forms stop describing the machine (see docs/MODELS.md).
+func ExampleEnergyModel() {
+	for _, intensity := range []float64{0.25, 4} {
+		k := core.KernelAt(1e9, intensity) // 1 Gflop
+		for _, name := range model.Names() {
+			em, err := model.For(name, "gtx580", machine.Double)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("I=%-5g %-9s time %.4f s  energy %.2f J  power %.1f W\n",
+				intensity, em.Name(), em.Time(k), em.Energy(k), em.Power(k))
+		}
+	}
+	// Output:
+	// I=0.25  analytic  time 0.0208 s  energy 4.80 J  power 230.9 W
+	// I=0.25  blackbox  time 0.0219 s  energy 4.91 J  power 224.1 W
+	// I=4     analytic  time 0.0051 s  energy 0.96 J  power 189.2 W
+	// I=4     blackbox  time 0.0051 s  energy 0.96 J  power 189.5 W
+}

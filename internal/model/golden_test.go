@@ -1,0 +1,78 @@
+package model_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model/scorecard"
+)
+
+// update regenerates the golden scorecard artifact:
+//
+//	go test ./internal/model/ -run TestScorecardGolden -update
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenPath is the pinned full-catalog scorecard (CI-smoke sizes).
+const goldenPath = "testdata/scorecard_golden.json"
+
+// goldenConfig is the seed-locked configuration behind the committed
+// golden. Changing any field — or the fit campaign, the simulator's
+// noise streams, the regression, or the JSON encoding — invalidates the
+// golden; regenerate with -update and review the diff.
+func goldenConfig() scorecard.Config {
+	return scorecard.Config{
+		FitPoints:  5,
+		FitReps:    3,
+		EvalPoints: 9,
+		EvalReps:   2,
+	}
+}
+
+// TestScorecardGolden is the scorecard's determinism anchor: the
+// full-catalog artifact must be byte-identical at every worker count
+// AND across commits. Any change to the blackbox fit, the held-out
+// measurement campaign, the error summaries, or the encoding shows up
+// as a golden diff that has to be reviewed and re-pinned deliberately.
+func TestScorecardGolden(t *testing.T) {
+	var artifacts [][]byte
+	for _, workers := range []int{1, 4, 16} {
+		cfg := goldenConfig()
+		cfg.Workers = workers
+		sc, err := scorecard.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		data, err := sc.ToJSON()
+		if err != nil {
+			t.Fatalf("workers=%d: ToJSON: %v", workers, err)
+		}
+		artifacts = append(artifacts, data)
+	}
+	for i, data := range artifacts[1:] {
+		if !bytes.Equal(artifacts[0], data) {
+			t.Fatalf("artifact at workers=%d differs from workers=1", []int{4, 16}[i])
+		}
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, artifacts[0], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(artifacts[0]))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(want, artifacts[0]) {
+		t.Fatalf("scorecard drifted from %s\nrun `go test ./internal/model/ -run TestScorecardGolden -update` after reviewing the change\ngot %d bytes, want %d", goldenPath, len(artifacts[0]), len(want))
+	}
+}

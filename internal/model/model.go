@@ -1,0 +1,172 @@
+// Package model makes the energy model pluggable. The paper's closed
+// forms (eqs. 3, 4 and the §V-B capped variants in internal/core) become
+// one implementation — Analytic — of an EnergyModel interface, and a
+// fitted regression over simulated measurements — Blackbox — becomes a
+// second, following the critique of Hofmann et al. (arXiv:1803.01618)
+// that closed-form models break down in machine-specific ways that only
+// a measured alternative can expose.
+//
+// The interface carries the same determinism contract as internal/core:
+// every method is a pure function of the model's coefficients and the
+// kernel, and EvalInto fills batch columns bit-identical to the scalar
+// methods (PR 7's lockstep contract). Analytic delegates 1:1 to
+// core.Params, so consumers that switch to the interface with the
+// default model produce byte-identical output — the goldens across
+// campaign, fleet and server pin this.
+//
+// The subpackage scorecard quantifies where each model is accurate;
+// docs/MODELS.md documents the contract, the fit methodology and the
+// selection rule.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// EnergyModel predicts the execution time, energy and power of a kernel
+// (W flops, Q bytes) on one (machine, precision) pair. Implementations
+// are immutable after construction and safe for concurrent use; all
+// methods are deterministic, and EvalInto must produce columns
+// bit-identical to calling the scalar methods element-wise.
+type EnergyModel interface {
+	// Name returns the registry name ("analytic", "blackbox", ...).
+	Name() string
+	// Time predicts wall-clock seconds, ignoring any power cap.
+	Time(k core.Kernel) float64
+	// Energy predicts joules, ignoring any power cap.
+	Energy(k core.Kernel) float64
+	// Power predicts average watts (Energy/Time).
+	Power(k core.Kernel) float64
+	// CappedTime predicts wall-clock seconds under the machine's
+	// power cap (§V-B throttling).
+	CappedTime(k core.Kernel) float64
+	// CappedEnergy predicts joules under the power cap.
+	CappedEnergy(k core.Kernel) float64
+	// CappedPower predicts average watts under the power cap.
+	CappedPower(k core.Kernel) float64
+	// EvalInto fills all six columns of b for the kernels (w[i], q[i]),
+	// bit-identical to the scalar methods point by point.
+	EvalInto(b *core.Batch, w, q []float64)
+}
+
+// Registered model names. The empty string is accepted everywhere a
+// name is and resolves to the default.
+const (
+	// AnalyticName is the closed-form roofline model (the default).
+	AnalyticName = "analytic"
+	// BlackboxName is the regression fitted on simulated measurements.
+	BlackboxName = "blackbox"
+)
+
+// DefaultName returns the name the empty string resolves to.
+func DefaultName() string { return AnalyticName }
+
+// Names returns every registered model name, sorted.
+func Names() []string {
+	names := []string{AnalyticName, BlackboxName}
+	sort.Strings(names)
+	return names
+}
+
+// Known reports whether name resolves to a registered model. The empty
+// string is known: it means the default.
+func Known(name string) bool {
+	switch name {
+	case "", AnalyticName, BlackboxName:
+		return true
+	}
+	return false
+}
+
+// Describe returns a one-line description of a registered model name.
+func Describe(name string) string {
+	switch name {
+	case AnalyticName:
+		return "closed-form roofline (eqs. 3-4, §V-B cap); the default, byte-identical to internal/core"
+	case BlackboxName:
+		return "least-squares regression fitted on simulated measurements (generalised eq. 9)"
+	}
+	return ""
+}
+
+// Analytic is the paper's closed-form model: a zero-cost adapter that
+// delegates every method 1:1 to core.Params, so going through the
+// interface is bit-identical to calling internal/core directly (pinned
+// by TestAnalyticInterfaceLockstep).
+type Analytic struct {
+	// P holds the machine constants the closed forms evaluate.
+	P core.Params
+}
+
+// NewAnalytic wraps machine constants as an EnergyModel.
+func NewAnalytic(p core.Params) Analytic { return Analytic{P: p} }
+
+// Name returns "analytic".
+func (a Analytic) Name() string { return AnalyticName }
+
+// Time delegates to core.Params.Time (eq. 3).
+func (a Analytic) Time(k core.Kernel) float64 { return a.P.Time(k) }
+
+// Energy delegates to core.Params.Energy (eq. 4).
+func (a Analytic) Energy(k core.Kernel) float64 { return a.P.Energy(k) }
+
+// Power delegates to core.Params.AveragePower.
+func (a Analytic) Power(k core.Kernel) float64 { return a.P.AveragePower(k) }
+
+// CappedTime delegates to core.Params.CappedTime (§V-B).
+func (a Analytic) CappedTime(k core.Kernel) float64 { return a.P.CappedTime(k) }
+
+// CappedEnergy delegates to core.Params.CappedEnergy (§V-B).
+func (a Analytic) CappedEnergy(k core.Kernel) float64 { return a.P.CappedEnergy(k) }
+
+// CappedPower delegates to core.Params.CappedPower (§V-B).
+func (a Analytic) CappedPower(k core.Kernel) float64 { return a.P.CappedPower(k) }
+
+// EvalInto delegates to core.Params.EvalInto, the fused batch kernel
+// already pinned bit-identical to the scalar closed forms.
+func (a Analytic) EvalInto(b *core.Batch, w, q []float64) { a.P.EvalInto(b, w, q) }
+
+// fitCache memoizes blackbox fits per (machine, precision): a fit is a
+// deterministic function of the default fit configuration, so every
+// caller of For shares one instance. Guarded by fitMu; a fit runs with
+// the lock held (it is a ~150-run simulated sweep, cheap enough that
+// serialising concurrent first requests is fine).
+var (
+	fitMu    sync.Mutex
+	fitCache = map[string]*Blackbox{}
+)
+
+// For resolves a model name for one catalog machine and precision. The
+// empty name resolves to the default (analytic). Blackbox models are
+// fitted on first use with DefaultFitConfig and memoized, so repeated
+// lookups — e.g. per server request — reuse one fit.
+func For(name, machineKey string, prec machine.Precision) (EnergyModel, error) {
+	m, ok := machine.Catalog()[machineKey]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown machine %q", machineKey)
+	}
+	switch name {
+	case "", AnalyticName:
+		return NewAnalytic(core.FromMachine(m, prec)), nil
+	case BlackboxName:
+		key := machineKey + "/" + prec.String()
+		fitMu.Lock()
+		defer fitMu.Unlock()
+		if bb, ok := fitCache[key]; ok {
+			return bb, nil
+		}
+		bb, err := Fit(DefaultFitConfig(machineKey, prec))
+		if err != nil {
+			return nil, err
+		}
+		fitCache[key] = bb
+		return bb, nil
+	}
+	return nil, fmt.Errorf("model: unknown model %q (registered: %s)", name, strings.Join(Names(), ", "))
+}

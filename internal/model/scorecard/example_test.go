@@ -1,0 +1,35 @@
+package scorecard_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/model/scorecard"
+)
+
+// ExampleScorecard runs a small scorecard for one machine and reads
+// off the auto-selection: per (machine, precision) pair the model with
+// the lower median energy error against held-out simulated
+// measurements wins (ties go to analytic). The run is deterministic —
+// same config, same bytes, at any worker count.
+func ExampleScorecard() {
+	sc, err := scorecard.Run(context.Background(), scorecard.Config{
+		Machines:   []string{"gtx580"},
+		FitPoints:  5,
+		FitReps:    3,
+		EvalPoints: 9,
+		EvalReps:   2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := range sc.Cards {
+		c := &sc.Cards[i]
+		e := c.Quantity("energy")
+		fmt.Printf("%s/%s: analytic %.1f%% vs blackbox %.1f%% median energy error -> %s\n",
+			c.Machine, c.Precision, 100*e.Analytic.Median, 100*e.Blackbox.Median, c.Selected)
+	}
+	// Output:
+	// gtx580/double: analytic 2.7% vs blackbox 14.7% median energy error -> analytic
+	// gtx580/single: analytic 6.1% vs blackbox 1.1% median energy error -> blackbox
+}

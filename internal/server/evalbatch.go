@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/model"
 )
 
 // POST /v1/evalbatch: the columnar counterpart of /v1/eval. One request
@@ -28,6 +29,9 @@ type evalBatchRequest struct {
 	Precision   string    `json:"precision"`
 	Work        []float64 `json:"work,omitempty"`
 	Intensities []float64 `json:"intensities"`
+	// Model selects the EnergyModel for the whole batch (see GET
+	// /v1/models); empty means the default analytic model.
+	Model string `json:"model,omitempty"`
 }
 
 // evalBatchResponse is the POST /v1/evalbatch reply: one /v1/eval
@@ -48,6 +52,9 @@ func (s *Server) checkEvalBatch(q *evalBatchRequest) error {
 	}
 	if _, err := parsePrecision(q.Precision); err != nil {
 		return err
+	}
+	if !model.Known(q.Model) {
+		return badRequest("unknown model %q (see GET /v1/models)", q.Model)
 	}
 	n := len(q.Intensities)
 	if n == 0 {
@@ -85,9 +92,11 @@ func (s *Server) checkEvalBatch(q *evalBatchRequest) error {
 
 // evaluateBatch computes the batch response body on the columnar model
 // path. Every per-point number matches what evaluate() returns for the
-// same (machine, precision, work, intensity) — the batch kernels are
-// bit-identical to the scalar methods, and the curve columns are taken
-// over the raw request intensities exactly as /v1/eval does.
+// same (machine, precision, model, work, intensity) — the requested
+// EnergyModel's batch kernels are bit-identical to its scalar methods,
+// and the curve columns are taken over the raw request intensities
+// exactly as /v1/eval does (they are machine geometry, always
+// analytic).
 func evaluateBatch(q evalBatchRequest) ([]byte, error) {
 	prec, err := parsePrecision(q.Precision)
 	if err != nil {
@@ -95,16 +104,19 @@ func evaluateBatch(q evalBatchRequest) ([]byte, error) {
 	}
 	m := machine.Catalog()[q.Machine]
 	p := core.FromMachine(m, prec)
+	em, err := model.For(q.Model, q.Machine, prec)
+	if err != nil {
+		return nil, badRequest("evalbatch: %v", err)
+	}
 	n := len(q.Intensities)
 
 	qcol := make([]float64, n)
 	core.QAtInto(qcol, q.Work, q.Intensities)
 	var sc metrics.ScoreColumns
-	if err := metrics.EvaluateBatch(p, &sc, q.Work, qcol); err != nil {
+	var b core.Batch
+	if err := metrics.EvaluateBatchModel(em, p, &sc, &b, q.Work, qcol); err != nil {
 		return nil, badRequest("evalbatch: %v", err)
 	}
-	var b core.Batch
-	p.EvalInto(&b, q.Work, qcol)
 	tb := make([]core.BoundState, n)
 	eb := make([]core.BoundState, n)
 	p.TimeBoundInto(tb, q.Work, qcol)
@@ -124,6 +136,7 @@ func evaluateBatch(q evalBatchRequest) ([]byte, error) {
 		results[i] = evalResponse{
 			Machine:        q.Machine,
 			Precision:      precName,
+			Model:          q.Model,
 			Work:           q.Work[i],
 			Intensity:      q.Intensities[i],
 			Time:           sc.Time[i],

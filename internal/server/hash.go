@@ -54,7 +54,21 @@ func hashCampaign(c campaign.Config) uint64 {
 	h = foldFloat(h, c.VolumeBytes)
 	h = foldBool(h, c.UsePowerMon)
 	h = fold(h, uint64(c.Seed))
+	h = foldModel(h, c.Model)
 	return h
+}
+
+// foldModel mixes a model selector into the running hash — only when
+// one is named. An empty selector folds nothing, so every default
+// request keys exactly as it did before the model field existed (no
+// invalidation of pre-model cache entries, no hashVersion bump), while
+// an explicit selector — including an explicit "analytic", whose
+// response body differs by its echoed model field — keys distinctly.
+func foldModel(h uint64, name string) uint64 {
+	if name == "" {
+		return h
+	}
+	return foldString(h, name)
 }
 
 // EvalKey returns the canonical content hash of one eval-shaped
@@ -75,6 +89,7 @@ func hashEval(q evalRequest) uint64 {
 	h = foldString(h, q.Precision)
 	h = foldFloat(h, q.Work)
 	h = foldFloat(h, q.Intensity)
+	h = foldModel(h, q.Model)
 	return h
 }
 
@@ -91,5 +106,6 @@ func hashEvalBatch(q evalBatchRequest) uint64 {
 		h = foldFloat(h, q.Work[i])
 		h = foldFloat(h, q.Intensities[i])
 	}
+	h = foldModel(h, q.Model)
 	return h
 }

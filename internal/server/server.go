@@ -24,10 +24,15 @@
 //
 //	GET  /healthz      liveness probe
 //	GET  /v1/machines  the platform catalog with derived balance points
+//	GET  /v1/models    the registered EnergyModels (see docs/MODELS.md)
 //	POST /v1/eval      single roofline/energy model query
 //	POST /v1/evalbatch columnar batch model query (cached, coalesced)
 //	POST /v1/campaign  full tune→sweep→fit campaign (cached, coalesced)
 //	GET  /metrics      plain-text operational counters
+//
+// The three POST endpoints accept an optional "model" field selecting
+// the EnergyModel ("analytic" or "blackbox"); omitted means analytic
+// and the response bytes are identical to the pre-model surface.
 //
 // With Config.Debug set, the server additionally records every request
 // (and the campaign engine's internal phases) in an internal/trace ring
@@ -57,6 +62,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/model"
 	"repro/internal/parallel"
 	"repro/internal/trace"
 )
@@ -189,6 +195,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/eval", s.handleEval)
 	mux.HandleFunc("POST /v1/evalbatch", s.handleEvalBatch)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
@@ -324,6 +331,10 @@ type evalRequest struct {
 	Precision string  `json:"precision"`
 	Work      float64 `json:"work,omitempty"`
 	Intensity float64 `json:"intensity"`
+	// Model selects the EnergyModel predicting the cost fields (see
+	// GET /v1/models); empty means the default analytic model and
+	// keeps the response byte-identical to the pre-model surface.
+	Model string `json:"model,omitempty"`
 }
 
 // evalResponse is the POST /v1/eval reply: the model's time, energy,
@@ -331,6 +342,7 @@ type evalRequest struct {
 type evalResponse struct {
 	Machine        string  `json:"machine"`
 	Precision      string  `json:"precision"`
+	Model          string  `json:"model,omitempty"`
 	Work           float64 `json:"work"`
 	Intensity      float64 `json:"intensity"`
 	Time           float64 `json:"time_seconds"`
@@ -374,6 +386,9 @@ func checkEval(q *evalRequest) error {
 	if _, err := parsePrecision(q.Precision); err != nil {
 		return err
 	}
+	if !model.Known(q.Model) {
+		return badRequest("unknown model %q (see GET /v1/models)", q.Model)
+	}
 	if q.Work == 0 {
 		q.Work = 1e9
 	}
@@ -388,7 +403,14 @@ func checkEval(q *evalRequest) error {
 	return nil
 }
 
-// evaluate computes the eval response body.
+// evaluate computes the eval response body. The cost fields (time,
+// energy, power, capped variants, composite metrics) come from the
+// requested EnergyModel; the machine-geometry fields (bounds, balance
+// points, curves) are always the analytic closed forms — they describe
+// the machine, not a prediction. The default analytic model goes
+// through the same interface and delegates to the identical core
+// methods, so default responses are byte-identical to the pre-model
+// surface.
 func evaluate(q evalRequest) ([]byte, error) {
 	prec, err := parsePrecision(q.Precision)
 	if err != nil {
@@ -396,22 +418,27 @@ func evaluate(q evalRequest) ([]byte, error) {
 	}
 	m := machine.Catalog()[q.Machine]
 	p := core.FromMachine(m, prec)
+	em, err := model.For(q.Model, q.Machine, prec)
+	if err != nil {
+		return nil, badRequest("eval: %v", err)
+	}
 	k := core.KernelAt(q.Work, q.Intensity)
-	score, err := metrics.Evaluate(p, k)
+	score, err := metrics.EvaluateModel(em, p, k)
 	if err != nil {
 		return nil, badRequest("eval: %v", err)
 	}
 	resp := evalResponse{
 		Machine:        q.Machine,
 		Precision:      prec.String(),
+		Model:          q.Model,
 		Work:           q.Work,
 		Intensity:      q.Intensity,
 		Time:           score.Time,
 		Energy:         score.Energy,
-		AvgPower:       p.AveragePower(k),
-		CappedTime:     p.CappedTime(k),
-		CappedEnergy:   p.CappedEnergy(k),
-		CappedPower:    p.CappedPower(k),
+		AvgPower:       em.Power(k),
+		CappedTime:     em.CappedTime(k),
+		CappedEnergy:   em.CappedEnergy(k),
+		CappedPower:    em.CappedPower(k),
 		TimeBound:      p.TimeBound(k).String(),
 		EnergyBound:    p.EnergyBound(k).String(),
 		BalanceTime:    p.BalanceTime(),
