@@ -1,0 +1,120 @@
+// Command dvfs runs the DVFS study (internal/dvfs) over the operating-
+// point catalog: the energy-optimal frequency per intensity, the
+// race-to-idle vs pace-to-fill crossover with powermon validation, and
+// the heterogeneous CPU/GPU dispatch table. See docs/DVFS.md for how to
+// read the output.
+//
+// The report is byte-identical at any -workers value (the determinism
+// the golden test pins), so dvfs artifacts diff cleanly across commits.
+//
+// Usage:
+//
+//	go run ./cmd/dvfs                        # whole DVFS catalog, print the tables
+//	go run ./cmd/dvfs -machines gtx580       # one machine
+//	go run ./cmd/dvfs -json dvfs.json        # machine-readable study ("-" for stdout)
+//	go run ./cmd/dvfs -svg figs -png figs    # optimal-frequency, race-idle, dispatch figures
+//	go run ./cmd/dvfs -fast                  # smaller grid and race budget (CI artifact)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/chart"
+	"repro/internal/dvfs"
+)
+
+func main() {
+	machines := flag.String("machines", "", "comma-separated DVFS catalog keys (default: whole DVFS catalog)")
+	seed := flag.Int64("seed", 11, "root seed for the powermon measurement noise")
+	workers := flag.Int("workers", 0, "concurrent machine cells; <1 means one per CPU")
+	fast := flag.Bool("fast", false, "smaller intensity grid and race work budget (CI smoke size)")
+	jsonPath := flag.String("json", "", "write the full study JSON here (\"-\" for stdout)")
+	svgDir := flag.String("svg", "", "write the study figures as SVG into this directory")
+	pngDir := flag.String("png", "", "write the study figures as PNG into this directory")
+	flag.Parse()
+
+	cfg := dvfs.Config{Seed: *seed, Workers: *workers, Fast: *fast}
+	if *machines != "" {
+		cfg.Machines = strings.Split(*machines, ",")
+	}
+	st, err := dvfs.Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvfs:", err)
+		os.Exit(1)
+	}
+	fmt.Print(st.Render())
+
+	if *jsonPath != "" {
+		data, err := st.ToJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvfs:", err)
+			os.Exit(1)
+		}
+		if *jsonPath == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dvfs:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *svgDir == "" && *pngDir == "" {
+		return
+	}
+	figs := []struct {
+		name string
+		c    *chart.Chart
+	}{
+		{"dvfs_raceidle", dvfs.RaceIdleChart(st)},
+		{"dvfs_dispatch", dvfs.DispatchChart(st)},
+	}
+	for i := range st.OptFreq {
+		c := &st.OptFreq[i]
+		figs = append(figs, struct {
+			name string
+			c    *chart.Chart
+		}{fmt.Sprintf("dvfs_optfreq_%s_%s", c.Machine, c.Precision), dvfs.OptFreqChart(c)})
+	}
+	for _, fig := range figs {
+		if *svgDir != "" {
+			svg, err := fig.c.RenderSVG()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dvfs:", err)
+				os.Exit(1)
+			}
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "dvfs:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(filepath.Join(*svgDir, fig.name+".svg"), []byte(svg), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "dvfs:", err)
+				os.Exit(1)
+			}
+		}
+		if *pngDir != "" {
+			if err := os.MkdirAll(*pngDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "dvfs:", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*pngDir, fig.name+".png"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dvfs:", err)
+				os.Exit(1)
+			}
+			if err := fig.c.RenderPNG(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "dvfs:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dvfs:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

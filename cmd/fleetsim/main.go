@@ -88,6 +88,7 @@ func main() {
 	replay := flag.String("replay", "", "replay a workload trace (JSON from internal/workload) instead of generating the scenario's own")
 	requests := flag.Int("requests", 0, "override every scenario's request count (0 = scenario default)")
 	replicas := flag.Int("replicas", 0, "override every scenario's replica count by truncating/tiling its fleet (0 = scenario default)")
+	pinMaxFreq := flag.Bool("pin-max-freq", false, "clear every replica's DVFS operating point (run the same fleet at base clock)")
 
 	bench := flag.Bool("bench", false, "measure wall time per scenario and compare against -bench-file")
 	benchPath := flag.String("bench-file", "BENCH_cluster.json", "bench trajectory file")
@@ -141,13 +142,14 @@ func main() {
 			path: *benchPath, check: *check, maxSlowdown: *maxSlowdown,
 			update: *update, recordBaseline: *recordBaseline, pr: *pr, note: *note,
 			workers: *workers, requests: *requests, replicas: *replicas,
+			pinMaxFreq: *pinMaxFreq,
 		})
 		return
 	}
 
 	reports := make([]*cluster.Report, 0, len(names))
 	for _, name := range names {
-		sc := applyOverrides(catalog[name], *requests, *replicas)
+		sc := applyOverrides(catalog[name], *requests, *replicas, *pinMaxFreq)
 		rep, err := cluster.RunScenario(context.Background(), sc, cluster.Options{
 			Workers: *workers,
 			Tracer:  tracer,
@@ -185,7 +187,12 @@ func fatalf(format string, args ...any) {
 // applyOverrides shrinks or grows a catalog scenario per -requests and
 // -replicas: the fleet is truncated or tiled (repeating the spec list)
 // to the requested size, so CI can smoke a 1M scenario in seconds.
-func applyOverrides(sc cluster.Scenario, requests, replicas int) cluster.Scenario {
+// -pin-max-freq strips every replica's DVFS operating point, the
+// baseline a DVFS scenario's energy claim compares against.
+func applyOverrides(sc cluster.Scenario, requests, replicas int, pinMaxFreq bool) cluster.Scenario {
+	if pinMaxFreq {
+		sc = cluster.PinMaxFrequency(sc)
+	}
 	if requests > 0 {
 		sc.Workload.Requests = requests
 		if sc.Workload.Clients > requests {
@@ -248,6 +255,7 @@ type benchOpts struct {
 	workers        int
 	requests       int
 	replicas       int
+	pinMaxFreq     bool
 }
 
 // runBench times one full run of each named scenario and applies the
@@ -264,7 +272,7 @@ func runBench(names []string, catalog map[string]cluster.Scenario, opts benchOpt
 	results := map[string]benchMetrics{}
 	fmt.Printf("%-12s %14s %14s %12s %12s %10s\n", "scenario", "ns/op", "B/op", "allocs/op", "sim rps", "speedup")
 	for _, name := range names {
-		sc := applyOverrides(catalog[name], opts.requests, opts.replicas)
+		sc := applyOverrides(catalog[name], opts.requests, opts.replicas, opts.pinMaxFreq)
 		m := measure(sc, opts.workers)
 		if f.Baseline != nil {
 			if base, ok := f.Baseline.Scenarios[name]; ok && base.NsPerOp > 0 && m.NsPerOp > 0 {

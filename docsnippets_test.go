@@ -21,6 +21,7 @@ var docFiles = []string{
 	"docs/OBSERVABILITY.md",
 	"docs/PERFORMANCE.md",
 	"docs/CLUSTER.md",
+	"docs/DVFS.md",
 }
 
 // fence is one fenced code block from a markdown file.
@@ -369,6 +370,44 @@ func TestDocModelNamesDocumented(t *testing.T) {
 	for _, needle := range []string{"/v1/models", `"model"`} {
 		if !strings.Contains(string(server), needle) {
 			t.Errorf("docs/SERVER.md does not mention %s", needle)
+		}
+	}
+}
+
+// dvfsCatalogKeys parses the machine keys out of the DVFSCatalog map
+// literal in internal/machine/dvfs.go, so doc checks track the real
+// catalog.
+func dvfsCatalogKeys(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(root, "internal", "machine", "dvfs.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`"([a-z0-9][a-z0-9-]*)":\s*withCurve\(`)
+	keys := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+		keys[m[1]] = true
+	}
+	if len(keys) < 2 {
+		t.Fatalf("only %d DVFS catalog keys parsed from internal/machine/dvfs.go; extraction is likely broken", len(keys))
+	}
+	return keys
+}
+
+// TestDocOperatingPointsDocumented requires every machine carrying a
+// DVFS operating-point curve to be documented — backticked — in
+// docs/DVFS.md, so a new curve-carrying machine cannot ship
+// undocumented (the pattern of TestDocModelNamesDocumented).
+func TestDocOperatingPointsDocumented(t *testing.T) {
+	root := mustModuleRoot(t)
+	keys := dvfsCatalogKeys(t, root)
+	doc, err := os.ReadFile(filepath.Join(root, "docs", "DVFS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := range keys {
+		if !strings.Contains(string(doc), "`"+key+"`") {
+			t.Errorf("docs/DVFS.md does not document the DVFS-catalog machine `%s`", key)
 		}
 	}
 }

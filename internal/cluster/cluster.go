@@ -53,6 +53,13 @@ type ReplicaSpec struct {
 	// use the analytic closed forms — the replica's simulated hardware
 	// is the roofline; Model only changes the router's beliefs.
 	Model string `json:"model,omitempty"`
+	// OperatingPoint pins the replica to one named point of its
+	// machine's DVFS curve (the machine must come from the DVFS
+	// catalog). Service times, served energy, idle power, and the
+	// router's pricing all use the pinned parameters. Empty means full
+	// clock. Requires the analytic model: a blackbox fitted at base
+	// clock has no beliefs about other operating points.
+	OperatingPoint string `json:"operating_point,omitempty"`
 }
 
 // Options parameterise RunScenario.
@@ -131,7 +138,7 @@ type job struct {
 
 // newReplica builds replica i of the fleet.
 func newReplica(i int, spec ReplicaSpec) (*replica, error) {
-	m, ok := machine.Catalog()[spec.Machine]
+	m, ok := machine.Find(spec.Machine)
 	if !ok {
 		return nil, fmt.Errorf("cluster: replica %d names unknown machine %q", i, spec.Machine)
 	}
@@ -144,11 +151,32 @@ func newReplica(i int, spec ReplicaSpec) (*replica, error) {
 	default:
 		return nil, fmt.Errorf("cluster: replica %d has unknown precision %q", i, spec.Precision)
 	}
-	em, err := model.For(spec.Model, spec.Machine, prec)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
+	params := core.FromMachine(m, prec)
+	var em model.EnergyModel
+	switch {
+	case spec.OperatingPoint != "":
+		op, found := m.Point(spec.OperatingPoint)
+		if !found {
+			return nil, fmt.Errorf("cluster: replica %d: machine %q has no operating point %q", i, spec.Machine, spec.OperatingPoint)
+		}
+		if spec.Model != "" && spec.Model != model.AnalyticName {
+			return nil, fmt.Errorf("cluster: replica %d: model %q cannot price operating point %q; a model fitted at base clock has no beliefs about other points", i, spec.Model, spec.OperatingPoint)
+		}
+		params = params.AtOperatingPoint(op)
+		em = model.NewAnalytic(params)
+	case spec.Model == "" || spec.Model == model.AnalyticName:
+		// Built directly from the resolved machine so DVFS-catalog-only
+		// machines (the multi-SM family) work; identical parameters to
+		// model.For for base catalog keys.
+		em = model.NewAnalytic(params)
+	default:
+		var err error
+		em, err = model.For(spec.Model, spec.Machine, prec)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
+		}
 	}
-	r := &replica{id: i, spec: spec, params: core.FromMachine(m, prec), model: em}
+	r := &replica{id: i, spec: spec, params: params, model: em}
 	r.cache = server.NewResultCache(
 		spec.CacheEntries,
 		spec.CacheBytes,

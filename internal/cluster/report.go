@@ -83,6 +83,8 @@ type ReplicaReport struct {
 	ID int `json:"id"`
 	// Machine is the replica's catalog machine key.
 	Machine string `json:"machine"`
+	// OperatingPoint is the pinned DVFS point name, empty at base clock.
+	OperatingPoint string `json:"operating_point,omitempty"`
 	// Requests is how many requests the policy routed here.
 	Requests int `json:"requests"`
 	// Hits and Misses are the replica result cache's lifetime counters.
@@ -166,15 +168,16 @@ func (s *sim) report(policyName string) (PolicyReport, error) {
 		repJ := rep.kernelJ + rep.params.Pi0*idle
 		totalJ += repJ
 		rr := ReplicaReport{
-			ID:           rep.id,
-			Machine:      rep.spec.Machine,
-			Requests:     rep.requests,
-			Hits:         cs.Hits,
-			Misses:       cs.Misses,
-			Coalesced:    rep.coalesced,
-			EngineRuns:   rep.engine,
-			EnergyJoules: round6(repJ),
-			MaxQueue:     rep.maxQueue,
+			ID:             rep.id,
+			Machine:        rep.spec.Machine,
+			OperatingPoint: rep.spec.OperatingPoint,
+			Requests:       rep.requests,
+			Hits:           cs.Hits,
+			Misses:         cs.Misses,
+			Coalesced:      rep.coalesced,
+			EngineRuns:     rep.engine,
+			EnergyJoules:   round6(repJ),
+			MaxQueue:       rep.maxQueue,
 		}
 		if cs.Hits+cs.Misses > 0 {
 			rr.HitRate = round6(float64(cs.Hits) / float64(cs.Hits+cs.Misses))

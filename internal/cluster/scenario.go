@@ -120,6 +120,25 @@ func Scenarios() map[string]Scenario {
 		}
 	}
 
+	// heteroDVFS mixes base-clock replicas with pinned operating points
+	// from the DVFS catalog: downclocked full GPUs trade peak flops for a
+	// lower π0 draw, and a half-off multi-SM part covers memory-bound work
+	// at the lowest power floor in the fleet.
+	heteroDVFS := append(i7Replicas(2, 4096), make([]ReplicaSpec, 6)...)
+	for i, pin := range []struct{ machine, point string }{
+		{"gtx580", ""}, {"gtx580", ""},
+		{"gtx580", "0.70x"}, {"gtx580", "0.70x"},
+		{"gtx580-4sm", "0.55x"}, {"gtx580-4sm", "0.55x"},
+	} {
+		heteroDVFS[2+i] = ReplicaSpec{
+			Machine:        pin.machine,
+			OperatingPoint: pin.point,
+			Precision:      "double",
+			CacheEntries:   4096,
+			CacheBytes:     64 << 20,
+		}
+	}
+
 	return map[string]Scenario{
 		"smoke": {
 			Name:       "smoke",
@@ -156,7 +175,28 @@ func Scenarios() map[string]Scenario {
 			Workload:   heteroWL,
 			HitLatency: defaultHitLatency,
 		},
+		"hetero_dvfs": {
+			Name:       "hetero_dvfs",
+			Desc:       "2 i7-950 + 2 gtx580 + 2 gtx580@0.70x + 2 gtx580-4sm@0.55x, 1M Poisson requests: DVFS-pinned replicas priced per operating point",
+			Replicas:   heteroDVFS,
+			Workload:   heteroWL,
+			HitLatency: defaultHitLatency,
+		},
 	}
+}
+
+// PinMaxFrequency returns a copy of sc with every replica's operating
+// point cleared, i.e. the same fleet forced to run flat out at base
+// clock. Comparing a DVFS scenario against its pinned-max variant
+// isolates what frequency pinning buys (or costs) at fixed topology,
+// workload, and routing policy.
+func PinMaxFrequency(sc Scenario) Scenario {
+	out := sc
+	out.Replicas = append([]ReplicaSpec(nil), sc.Replicas...)
+	for i := range out.Replicas {
+		out.Replicas[i].OperatingPoint = ""
+	}
+	return out
 }
 
 // ScenarioNames returns the catalog's keys sorted.

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"math"
+
+	"repro/internal/machine"
 )
 
 // DVFS extension: the paper frames race-to-halt (§II-D, §V-B) and the
@@ -25,6 +27,29 @@ import (
 // dynamic energy. With π0 = 0 the optimum is always the slowest
 // available clock — the analytic counterpart of the reversal the paper
 // predicts when architects drive constant power to zero.
+
+// AtOperatingPoint folds a machine.OperatingPoint's scale factors into
+// the parameters: τ and ε multiply by their scales, π0 by Pi0Scale, and
+// the power cap — an electrical limit of the board — is unchanged. The
+// TimeAtFreq/EnergyAtFreq closed forms above are the special case
+// TauFlopScale = 1/s, EpsFlopScale = s², everything else 1; operating
+// points generalise them to measured or synthesized V(s) laws.
+func (p Params) AtOperatingPoint(op machine.OperatingPoint) Params {
+	return Params{
+		TauFlop:  p.TauFlop * op.TauFlopScale,
+		TauMem:   p.TauMem * op.TauMemScale,
+		EpsFlop:  p.EpsFlop * op.EpsFlopScale,
+		EpsMem:   p.EpsMem * op.EpsMemScale,
+		Pi0:      p.Pi0 * op.Pi0Scale,
+		PowerCap: p.PowerCap,
+	}
+}
+
+// FromMachineAt instantiates model parameters for machine m at
+// precision prec, pinned to operating point op.
+func FromMachineAt(m *machine.Machine, prec machine.Precision, op machine.OperatingPoint) Params {
+	return FromMachine(m, prec).AtOperatingPoint(op)
+}
 
 // TimeAtFreq returns T(s) for clock scale s ∈ (0, 1].
 func (p Params) TimeAtFreq(k Kernel, s float64) float64 {

@@ -1,0 +1,80 @@
+package dvfs
+
+import (
+	"fmt"
+
+	"repro/internal/chart"
+)
+
+// OptFreqChart builds the optimal-frequency step figure for one
+// (machine, precision) curve: the energy-minimal clock fraction
+// against operational intensity.
+func OptFreqChart(c *OptFreqCurve) *chart.Chart {
+	xs := make([]float64, len(c.Points))
+	ys := make([]float64, len(c.Points))
+	for i, p := range c.Points {
+		xs[i] = p.Intensity
+		ys[i] = p.FreqScale
+	}
+	return &chart.Chart{
+		Title:  fmt.Sprintf("energy-optimal clock vs intensity — %s (%s)", c.Machine, c.Precision),
+		XLabel: "operational intensity (flops/byte)",
+		YLabel: "optimal clock fraction s*",
+		LogX:   true,
+		Series: []chart.Series{
+			{Name: "s*(I)", X: xs, Y: ys, Line: true, Marker: '*'},
+		},
+	}
+}
+
+// RaceIdleChart builds the policy-energy figure: each machine's total
+// energy over the deadline as a function of the pinned clock fraction,
+// with the fastest point being race-to-idle.
+func RaceIdleChart(s *Study) *chart.Chart {
+	ch := &chart.Chart{
+		Title:  "race-to-idle vs pace-to-fill — policy energy by pinned clock",
+		XLabel: "pinned clock fraction s",
+		YLabel: "energy over deadline (J)",
+		LogY:   true,
+	}
+	markers := []rune{'g', '8', '4', 'i', '*', '+'}
+	for i := range s.RaceIdle {
+		r := &s.RaceIdle[i]
+		xs := make([]float64, len(r.Policies))
+		ys := make([]float64, len(r.Policies))
+		for j, p := range r.Policies {
+			xs[j] = p.FreqScale
+			ys[j] = p.EnergyJ
+		}
+		ch.Series = append(ch.Series, chart.Series{
+			Name: r.Machine, X: xs, Y: ys, Line: true, Marker: markers[i%len(markers)],
+		})
+	}
+	return ch
+}
+
+// DispatchChart builds the dispatch figure: the winning platform's
+// greenup and speedup over the CPU baseline against intensity.
+func DispatchChart(s *Study) *chart.Chart {
+	n := len(s.Dispatch.Choices)
+	xs := make([]float64, n)
+	gs := make([]float64, n)
+	sp := make([]float64, n)
+	for i := range s.Dispatch.Choices {
+		c := &s.Dispatch.Choices[i]
+		xs[i] = c.Intensity
+		gs[i] = c.Greenup
+		sp[i] = c.Speedup
+	}
+	return &chart.Chart{
+		Title:  "heterogeneous dispatch — winner vs " + s.Dispatch.Baseline,
+		XLabel: "operational intensity (flops/byte)",
+		YLabel: "ratio vs baseline",
+		LogX:   true,
+		LogY:   true,
+		Series: []chart.Series{
+			{Name: "greenup", X: xs, Y: gs, Line: true, Marker: 'g'},
+			{Name: "speedup", X: xs, Y: sp, Line: true, Marker: 's'},
+		},
+	}
+}

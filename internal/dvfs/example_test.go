@@ -1,0 +1,28 @@
+package dvfs_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dvfs"
+)
+
+// Heterogeneous dispatch: the eq. 10 incumbent scan picks a
+// platform-and-frequency per kernel. Memory-bound work goes to a
+// downclocked GPU variant (same bandwidth, less constant power);
+// compute-bound work races on the full-clock GPU.
+func ExampleDispatch() {
+	plats, err := dvfs.DefaultPlatforms()
+	if err != nil {
+		panic(err)
+	}
+	for _, intensity := range []float64{0.125, 0.5, 32} {
+		k := core.KernelAt(1e9, intensity)
+		best := plats[dvfs.Dispatch(plats, k)]
+		fmt.Printf("I=%-6g -> %s\n", intensity, best.Label)
+	}
+	// Output:
+	// I=0.125  -> gtx580-4sm@0.55x
+	// I=0.5    -> gtx580@0.70x
+	// I=32     -> gtx580@1.00x
+}

@@ -1,0 +1,61 @@
+package dvfs
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden study:
+//
+//	go test ./internal/dvfs/ -run TestStudyGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenPath is the pinned fast-config study artifact.
+const goldenPath = "testdata/dvfs_golden.json"
+
+// TestStudyGolden pins the study's determinism contract: the fast
+// study's JSON must be byte-identical at workers 1 and 8 AND across
+// commits — any change to the catalog curves, the scaling law, the
+// batch evaluator, the crossover closed form, the powermon noise
+// streams, or the report encoding shows up as a golden diff that has
+// to be re-pinned deliberately.
+func TestStudyGolden(t *testing.T) {
+	var reports [][]byte
+	for _, workers := range []int{1, 8} {
+		st, err := Run(context.Background(), Config{Fast: true, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		data, err := st.ToJSON()
+		if err != nil {
+			t.Fatalf("workers=%d: ToJSON: %v", workers, err)
+		}
+		reports = append(reports, data)
+	}
+	if !bytes.Equal(reports[0], reports[1]) {
+		t.Fatal("study at workers=8 differs from workers=1")
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, reports[0], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(reports[0]))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(reports[0], want) {
+		t.Fatalf("study drifted from %s (%d vs %d bytes); review and re-pin with -update",
+			goldenPath, len(reports[0]), len(want))
+	}
+}

@@ -1,0 +1,31 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// A DVFS catalog machine carries an operating-point curve: each point
+// scales the base (full-clock) parameters, and pinning the machine to a
+// point folds the scales in. Note π0 falls slower than the clock — the
+// constant-power floor — which is why racing to idle can win.
+func ExampleMachine_OperatingPoints() {
+	m, _ := machine.Find("gtx580")
+	for _, op := range m.OperatingPoints {
+		fmt.Printf("%s: tau_flop x%.2f, eps_flop x%.3f, pi0 x%.3f\n",
+			op.Name, op.TauFlopScale, op.EpsFlopScale, op.Pi0Scale)
+	}
+	op, _ := m.Point("0.70x")
+	p := core.FromMachineAt(m, machine.Double, op)
+	fmt.Printf("pinned 0.70x: %.1f Gflop/s peak, pi0 = %.1f W\n",
+		1e-9/p.TauFlop, p.Pi0)
+	// Output:
+	// 0.40x: tau_flop x2.50, eps_flop x0.722, pi0 x0.645
+	// 0.55x: tau_flop x1.82, eps_flop x0.788, pi0 x0.717
+	// 0.70x: tau_flop x1.43, eps_flop x0.856, pi0 x0.799
+	// 0.85x: tau_flop x1.18, eps_flop x0.926, pi0 x0.894
+	// 1.00x: tau_flop x1.00, eps_flop x1.000, pi0 x1.000
+	// pinned 0.70x: 138.3 Gflop/s peak, pi0 = 97.5 W
+}

@@ -121,6 +121,12 @@ type Machine struct {
 	DP PrecisionParams `json:"dp"`
 	// Caches lists on-chip cache levels, innermost first.
 	Caches []CacheLevel `json:"caches,omitempty"`
+	// OperatingPoints is the machine's DVFS curve, slowest point first,
+	// ending at the full-clock identity point; empty means the machine
+	// has the single catalog operating point (see dvfs.go). Omitted from
+	// JSON when empty, so pre-DVFS machine descriptions round-trip
+	// byte-identically.
+	OperatingPoints []OperatingPoint `json:"operating_points,omitempty"`
 }
 
 // Params returns the per-precision parameter block.
@@ -196,6 +202,11 @@ func (m *Machine) Validate() error {
 			return fmt.Errorf("machine %s: cache level %d (%s) negative energy", m.Name, i, c.Name)
 		}
 	}
+	if len(m.OperatingPoints) > 0 {
+		if err := ValidateCurve(m.OperatingPoints); err != nil {
+			return fmt.Errorf("machine %s: %v", m.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -204,6 +215,7 @@ func (m *Machine) Validate() error {
 func (m *Machine) Clone() *Machine {
 	c := *m
 	c.Caches = append([]CacheLevel(nil), m.Caches...)
+	c.OperatingPoints = CloneCurve(m.OperatingPoints)
 	return &c
 }
 
