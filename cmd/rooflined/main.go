@@ -12,8 +12,8 @@
 // Usage:
 //
 //	rooflined [-addr :8080] [-workers N] [-cache-entries N]
-//	          [-cache-bytes N] [-cache-ttl D] [-timeout D] [-drain D]
-//	          [-debug] [-trace out.json]
+//	          [-cache-bytes N] [-cache-shards N] [-cache-ttl D]
+//	          [-timeout D] [-drain D] [-debug] [-trace out.json]
 //
 // -debug turns on the observability surface: per-request span tracing,
 // GET /debug/trace (Chrome trace_event JSON of the span ring buffer),
@@ -47,6 +47,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "global engine worker budget shared across requests (0 = one per CPU)")
 		cacheEntries = flag.Int("cache-entries", 0, "result cache entry bound (0 = default)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "result cache byte bound (0 = default)")
+		cacheShards  = flag.Int("cache-shards", 0, "result cache lock shards, rounded up to a power of two (0 = default)")
 		cacheTTL     = flag.Duration("cache-ttl", 0, "result cache residency bound (0 = default)")
 		timeout      = flag.Duration("timeout", 0, "per-request engine execution timeout (0 = default)")
 		drain        = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
@@ -59,6 +60,7 @@ func main() {
 		Workers:        *workers,
 		CacheEntries:   *cacheEntries,
 		CacheBytes:     *cacheBytes,
+		CacheShards:    *cacheShards,
 		CacheTTL:       *cacheTTL,
 		RequestTimeout: *timeout,
 		Debug:          *debug || *traceOut != "",

@@ -4,6 +4,15 @@
 // complements the package's paper-facing figures of merit — the same
 // package that ranks kernels by EDP also reports how the service
 // evaluating them is behaving.
+//
+// Every observation path is lock-free: counters and gauges are single
+// atomic words, latency summaries stripe their histogram over padded
+// per-shard cells (sharded by a per-P hint, so concurrent observers
+// land on different cache lines), and registry lookups read a sync.Map
+// that only writes on first use of a name. A server can therefore
+// account for every request without ever taking a lock on the hot
+// path; only Render and Snapshot — the scrape-time readers — aggregate
+// across shards.
 package metrics
 
 import (
@@ -50,14 +59,42 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // counts observations in [2ⁱ µs, 2ⁱ⁺¹ µs), spanning 1 µs to ~17 min.
 const latencyBuckets = 30
 
+// latencyShards is the number of independent histogram cells one
+// Latency stripes its observations over (power of two). Observers are
+// spread across cells by a pooled per-P hint, so two cores recording
+// latencies concurrently almost never contend on the same cache lines.
+const latencyShards = 8
+
+// latencyCell is one shard of a Latency: a full independent summary
+// updated only with atomic operations. The trailing pad keeps adjacent
+// cells on distinct cache lines so shards do not false-share.
+type latencyCell struct {
+	count   atomic.Uint64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+	buckets [latencyBuckets]atomic.Uint64
+	_       [64]byte // pad: no false sharing with the next cell
+}
+
+// observerHint hands out stable shard indices through a sync.Pool:
+// Pool.Get serves from a per-P local cache, so one P keeps drawing the
+// same hint (and therefore the same cell) without any shared-memory
+// coordination, while distinct Ps spread round-robin across cells.
+var observerHint = sync.Pool{New: func() any {
+	h := new(uint32)
+	*h = observerSeq.Add(1)
+	return h
+}}
+
+// observerSeq seeds fresh observer hints round-robin.
+var observerSeq atomic.Uint32
+
 // Latency is an online summary of observed durations: count, sum, max,
-// and a log₂ histogram for quantile estimates. Safe for concurrent use.
+// and a log₂ histogram for quantile estimates. Safe for concurrent
+// use; Observe is lock-free (atomic updates on a per-P histogram
+// shard). The zero value is ready to use.
 type Latency struct {
-	mu      sync.Mutex
-	count   uint64
-	sum     time.Duration
-	max     time.Duration
-	buckets [latencyBuckets]uint64
+	cells [latencyShards]latencyCell
 }
 
 // Observe records one duration.
@@ -72,14 +109,18 @@ func (l *Latency) Observe(d time.Duration) {
 			b = latencyBuckets - 1
 		}
 	}
-	l.mu.Lock()
-	l.count++
-	l.sum += d
-	if d > l.max {
-		l.max = d
+	h := observerHint.Get().(*uint32)
+	c := &l.cells[*h&(latencyShards-1)]
+	observerHint.Put(h)
+	c.count.Add(1)
+	c.sumNs.Add(int64(d))
+	c.buckets[b].Add(1)
+	for {
+		cur := c.maxNs.Load()
+		if int64(d) <= cur || c.maxNs.CompareAndSwap(cur, int64(d)) {
+			break
+		}
 	}
-	l.buckets[b]++
-	l.mu.Unlock()
 }
 
 // LatencySnapshot is a point-in-time read of a Latency.
@@ -97,88 +138,91 @@ type LatencySnapshot struct {
 	P99 time.Duration
 }
 
-// Snapshot returns a consistent summary of the observations so far.
+// Snapshot returns a summary of the observations so far, aggregated
+// across the histogram shards. Concurrent observers may land between
+// the per-shard reads, so a snapshot taken under load is consistent to
+// within the observations in flight; quiescent reads are exact.
 func (l *Latency) Snapshot() LatencySnapshot {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	s := LatencySnapshot{Count: l.count, Max: l.max}
-	if l.count == 0 {
+	var count uint64
+	var sum, max int64
+	var buckets [latencyBuckets]uint64
+	for i := range l.cells {
+		c := &l.cells[i]
+		count += c.count.Load()
+		sum += c.sumNs.Load()
+		if m := c.maxNs.Load(); m > max {
+			max = m
+		}
+		for b := range c.buckets {
+			buckets[b] += c.buckets[b].Load()
+		}
+	}
+	s := LatencySnapshot{Count: count, Max: time.Duration(max)}
+	if count == 0 {
 		return s
 	}
-	s.Mean = l.sum / time.Duration(l.count)
-	s.P50 = l.quantileLocked(0.50)
-	s.P99 = l.quantileLocked(0.99)
+	s.Mean = time.Duration(sum) / time.Duration(count)
+	s.P50 = quantile(&buckets, count, time.Duration(max), 0.50)
+	s.P99 = quantile(&buckets, count, time.Duration(max), 0.99)
 	return s
 }
 
-// quantileLocked returns the upper edge of the bucket containing the
-// q-quantile. Callers hold l.mu.
-func (l *Latency) quantileLocked(q float64) time.Duration {
-	rank := uint64(q * float64(l.count))
+// quantile returns the upper edge of the bucket containing the
+// q-quantile of the aggregated histogram.
+func quantile(buckets *[latencyBuckets]uint64, count uint64, max time.Duration, q float64) time.Duration {
+	rank := uint64(q * float64(count))
 	var seen uint64
-	for i, n := range l.buckets {
+	for i, n := range buckets {
 		seen += n
 		if seen > rank {
 			return time.Duration(1<<uint(i+1)) * time.Microsecond
 		}
 	}
-	return l.max
+	return max
 }
 
 // Registry is a named collection of counters, gauges, and latency
 // summaries with a stable plain-text rendering, the backing store for a
-// service's GET /metrics page. The zero value is not usable; call
-// NewRegistry.
+// service's GET /metrics page. Lookups after a name's first use are
+// lock-free sync.Map reads, so callers can resolve metrics by name on
+// hot paths (though hoisting the pointer once is cheaper still). The
+// zero value is not usable; call NewRegistry.
 type Registry struct {
-	mu        sync.Mutex
-	counters  map[string]*Counter
-	gauges    map[string]*Gauge
-	latencies map[string]*Latency
+	counters  sync.Map // string -> *Counter
+	gauges    sync.Map // string -> *Gauge
+	latencies sync.Map // string -> *Latency
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		counters:  map[string]*Counter{},
-		gauges:    map[string]*Gauge{},
-		latencies: map[string]*Latency{},
-	}
+	return &Registry{}
 }
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*Counter)
 	}
-	return c
+	c, _ := r.counters.LoadOrStore(name, &Counter{})
+	return c.(*Counter)
 }
 
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
-	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+	if g, ok := r.gauges.Load(name); ok {
+		return g.(*Gauge)
 	}
-	return g
+	g, _ := r.gauges.LoadOrStore(name, &Gauge{})
+	return g.(*Gauge)
 }
 
 // Latency returns the named latency summary, creating it on first use.
 func (r *Registry) Latency(name string) *Latency {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	l, ok := r.latencies[name]
-	if !ok {
-		l = &Latency{}
-		r.latencies[name] = l
+	if l, ok := r.latencies.Load(name); ok {
+		return l.(*Latency)
 	}
-	return l
+	l, _ := r.latencies.LoadOrStore(name, &Latency{})
+	return l.(*Latency)
 }
 
 // Render returns the exposition page: one "name value" line per metric,
@@ -186,20 +230,17 @@ func (r *Registry) Latency(name string) *Latency {
 // _count, _mean_seconds, _p50_seconds, _p99_seconds, and _max_seconds
 // lines.
 func (r *Registry) Render() string {
-	r.mu.Lock()
-	lines := make([]string, 0, len(r.counters)+len(r.gauges)+5*len(r.latencies))
-	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
-	}
-	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
-	}
-	snaps := make(map[string]LatencySnapshot, len(r.latencies))
-	for name, l := range r.latencies {
-		snaps[name] = l.Snapshot()
-	}
-	r.mu.Unlock()
-	for name, s := range snaps {
+	var lines []string
+	r.counters.Range(func(k, v any) bool {
+		lines = append(lines, fmt.Sprintf("%s %d", k.(string), v.(*Counter).Value()))
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		lines = append(lines, fmt.Sprintf("%s %d", k.(string), v.(*Gauge).Value()))
+		return true
+	})
+	r.latencies.Range(func(k, v any) bool {
+		name, s := k.(string), v.(*Latency).Snapshot()
 		lines = append(lines,
 			fmt.Sprintf("%s_count %d", name, s.Count),
 			fmt.Sprintf("%s_mean_seconds %.6f", name, s.Mean.Seconds()),
@@ -207,7 +248,8 @@ func (r *Registry) Render() string {
 			fmt.Sprintf("%s_p99_seconds %.6f", name, s.P99.Seconds()),
 			fmt.Sprintf("%s_max_seconds %.6f", name, s.Max.Seconds()),
 		)
-	}
+		return true
+	})
 	sort.Strings(lines)
 	return strings.Join(lines, "\n") + "\n"
 }

@@ -64,16 +64,33 @@ type flight struct {
 	err  error
 }
 
-// flightGroup deduplicates concurrent executions by key: FlightTable
-// bookkeeping plus goroutine blocking for the waiters.
-type flightGroup struct {
+// flightShards is the number of independently locked FlightTables a
+// flightGroup stripes keys over (power of two). Flights for distinct
+// hashes then register and finish without contending on one mutex; the
+// canonical hash's low bits pick the shard, mirroring ShardedCache.
+const flightShards = 16
+
+// flightShard is one lock-plus-table stripe of a flightGroup. The pad
+// keeps adjacent shards' mutexes on distinct cache lines.
+type flightShard struct {
 	mu sync.Mutex
 	m  *FlightTable[*flight]
+	_  [40]byte // pad: no false sharing with the next shard's mutex
+}
+
+// flightGroup deduplicates concurrent executions by key: sharded
+// FlightTable bookkeeping plus goroutine blocking for the waiters.
+type flightGroup struct {
+	shards [flightShards]flightShard
 }
 
 // newFlightGroup returns an empty group.
 func newFlightGroup() *flightGroup {
-	return &flightGroup{m: NewFlightTable[*flight]()}
+	g := &flightGroup{}
+	for i := range g.shards {
+		g.shards[i].m = NewFlightTable[*flight]()
+	}
+	return g
 }
 
 // do returns fn's outcome for key, executing fn at most once across all
@@ -83,9 +100,10 @@ func newFlightGroup() *flightGroup {
 // running for the remaining waiters, so one impatient client cannot
 // cancel work others still want.
 func (g *flightGroup) do(ctx context.Context, key uint64, fn func() ([]byte, error)) (body []byte, leader bool, err error) {
-	g.mu.Lock()
-	f, joined := g.m.Begin(key, &flight{done: make(chan struct{})})
-	g.mu.Unlock()
+	sh := &g.shards[key&(flightShards-1)]
+	sh.mu.Lock()
+	f, joined := sh.m.Begin(key, &flight{done: make(chan struct{})})
+	sh.mu.Unlock()
 	if joined {
 		select {
 		case <-f.done:
@@ -97,16 +115,22 @@ func (g *flightGroup) do(ctx context.Context, key uint64, fn func() ([]byte, err
 
 	f.body, f.err = fn()
 
-	g.mu.Lock()
-	g.m.Finish(key)
-	g.mu.Unlock()
+	sh.mu.Lock()
+	sh.m.Finish(key)
+	sh.mu.Unlock()
 	close(f.done)
 	return f.body, true, f.err
 }
 
-// inFlight returns the number of distinct executions currently running.
+// inFlight returns the number of distinct executions currently running,
+// summed across shards.
 func (g *flightGroup) inFlight() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.m.Len()
+	n := 0
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		n += sh.m.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// The hand-rolled encoders exist on one condition: their output is
+// byte-identical to json.MarshalIndent(v, "", "  ") plus a trailing
+// newline, including every stdlib formatting quirk (float shortest
+// form, exponent cleanup, HTML escaping, omitempty, indentation of
+// empty and nested containers). These tests — and FuzzResponseEncoding
+// in fuzz_encode_test.go — enforce that condition differentially, so
+// the stdlib encoder remains the executable specification.
+
+// stdlibBody is the reference rendering: MarshalIndent + newline,
+// exactly what writeJSON and the pre-PR-10 handlers produced.
+func stdlibBody(t testing.TB, v any) ([]byte, error) {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// diffBytes fails the test with a pinpointed first difference.
+func diffBytes(t testing.TB, got, want []byte) {
+	t.Helper()
+	if string(got) == string(want) {
+		return
+	}
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	at := n
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			at = i
+			break
+		}
+	}
+	lo := at - 40
+	if lo < 0 {
+		lo = 0
+	}
+	t.Fatalf("encoding differs at byte %d:\n got: %q\nwant: %q", at,
+		got[lo:min(len(got), at+40)], want[lo:min(len(want), at+40)])
+}
+
+// sampleEvalResponse exercises every field with awkward values:
+// subnormal, negative zero, huge, tiny, and boundary floats around the
+// stdlib's 'f'/'e' format switch.
+func sampleEvalResponse() evalResponse {
+	return evalResponse{
+		Machine:        "gtx580",
+		Precision:      "double",
+		Model:          "",
+		Work:           1e9,
+		Intensity:      4,
+		Time:           3.0107e-05,
+		Energy:         math.SmallestNonzeroFloat64,
+		AvgPower:       math.Copysign(0, -1),
+		CappedTime:     1e-6,
+		CappedEnergy:   9.999999999999999e-7,
+		CappedPower:    1e21,
+		TimeBound:      "memory",
+		EnergyBound:    "flop",
+		BalanceTime:    0.9999999999999999e21,
+		BalanceEnergy:  -1e-7,
+		HalfEfficiency: 6.02214076e23,
+		RooflineTime:   math.MaxFloat64,
+		ArchlineEnergy: -math.MaxFloat64,
+		PowerLine:      244,
+		RaceToHalt:     true,
+		EDP:            1.5,
+		FlopsPerJoule:  0,
+		FlopsPerSecond: 123456789.123456789,
+		GreenIndex:     2.2250738585072014e-308,
+		SpeedIndex:     -42.5,
+	}
+}
+
+func TestEncodersMatchStdlib(t *testing.T) {
+	t.Run("evalResponse", func(t *testing.T) {
+		for _, r := range []evalResponse{
+			sampleEvalResponse(),
+			{}, // all zero values, Model omitted
+			{Machine: "m<&>\"\\\n\t\u2028\u2029\x01", Model: "blackbox", Precision: "\xff\xfe"},
+		} {
+			want, err := stdlibBody(t, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := encodeEvalResponse(&r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffBytes(t, got, want)
+		}
+	})
+	t.Run("evalBatchResponse", func(t *testing.T) {
+		for _, r := range []evalBatchResponse{
+			{Machine: "fermi", Precision: "single", Count: 2,
+				Results: []evalResponse{sampleEvalResponse(), {}}},
+			{Machine: "x", Count: 0, Results: []evalResponse{}}, // empty array
+			{Machine: "x", Count: 0, Results: nil},              // null array
+		} {
+			want, err := stdlibBody(t, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := encodeEvalBatchResponse(&r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffBytes(t, got, want)
+		}
+	})
+	t.Run("machines", func(t *testing.T) {
+		rows := []machineSummary{
+			{Key: "gtx580", Name: "NVIDIA GTX 580", Bandwidth: 192.4e9,
+				PeakFlopsSingle: 1581.06e9, PeakFlopsDouble: 197.63e9,
+				BalanceTime: 1.027, BalanceEnergy: 0.4, HalfEfficiency: 5.1, RaceToHalt: true},
+			{},
+		}
+		for _, rs := range [][]machineSummary{rows, {}} {
+			want, err := stdlibBody(t, map[string]any{"machines": rs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := encodeMachines(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffBytes(t, got, want)
+		}
+	})
+	t.Run("models", func(t *testing.T) {
+		rows := []modelSummary{
+			{Name: "analytic", Default: true, Description: "closed-form <paper> eqs & more"},
+			{Name: "blackbox", Default: false, Description: ""},
+		}
+		for _, rs := range [][]modelSummary{rows, {}} {
+			want, err := stdlibBody(t, map[string]any{"models": rs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := encodeModels(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffBytes(t, got, want)
+		}
+	})
+}
+
+// TestEncodeRejectsNonFinite pins the error contract: NaN/±Inf anywhere
+// in a response is an encode error exactly where the stdlib errors, and
+// nothing half-encoded escapes.
+func TestEncodeRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		r := sampleEvalResponse()
+		r.EDP = bad
+		if _, err := stdlibBody(t, r); err == nil {
+			t.Fatalf("stdlib accepted %v", bad)
+		}
+		body, err := encodeEvalResponse(&r)
+		if err == nil {
+			t.Fatalf("encoder accepted %v", bad)
+		}
+		if body != nil {
+			t.Fatalf("encoder returned partial body alongside error: %q", body)
+		}
+		if !strings.Contains(err.Error(), "json: unsupported value") {
+			t.Fatalf("error %q does not match the stdlib wording", err)
+		}
+	}
+}
+
+// TestAppendJSONFloatFormats spot-checks the exact format-switch
+// boundaries the fuzzer found historically interesting.
+func TestAppendJSONFloatFormats(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 1e-6, 1e-7, 9.999999999999999e-7,
+		1e20, 1e21, -1e21, 1.0000000000000001e21, 3.0107e-05, 1e9,
+		math.MaxFloat64, math.SmallestNonzeroFloat64, 0.1, 2.0 / 3.0,
+	}
+	for _, v := range cases {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := appendJSONFloat(nil, v)
+		if err != nil {
+			t.Fatalf("appendJSONFloat(%g): %v", v, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("appendJSONFloat(%g) = %q, stdlib renders %q", v, got, want)
+		}
+	}
+}
+
+// TestAppendHash pins the X-Request-Hash wire format against the
+// fmt.Sprintf("%016x", key) it replaced.
+func TestAppendHash(t *testing.T) {
+	for _, key := range []uint64{0, 1, 0xdeadbeef, ^uint64(0), 1 << 63} {
+		got := string(appendHash(nil, key))
+		want := fmt.Sprintf("%016x", key)
+		if got != want {
+			t.Fatalf("appendHash(%#x) = %q, want %q", key, got, want)
+		}
+	}
+	if got := string(appendHash(nil, 0xab)); got != "00000000000000ab" {
+		t.Fatalf("appendHash zero-padding broken: %q", got)
+	}
+}

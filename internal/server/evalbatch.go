@@ -1,13 +1,11 @@
 package server
 
 import (
-	"encoding/json"
 	"math"
 	"net/http"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/model"
 )
@@ -47,7 +45,7 @@ type evalBatchResponse struct {
 // before hashing, so a request with omitted work keys identically to
 // one spelling the 1e9 defaults out.
 func (s *Server) checkEvalBatch(q *evalBatchRequest) error {
-	if _, ok := machine.Catalog()[q.Machine]; !ok {
+	if _, ok := catalog()[q.Machine]; !ok {
 		return badRequest("unknown machine %q", q.Machine)
 	}
 	if _, err := parsePrecision(q.Precision); err != nil {
@@ -102,7 +100,7 @@ func evaluateBatch(q evalBatchRequest) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := machine.Catalog()[q.Machine]
+	m := catalog()[q.Machine]
 	p := core.FromMachine(m, prec)
 	em, err := model.For(q.Model, q.Machine, prec)
 	if err != nil {
@@ -162,11 +160,7 @@ func evaluateBatch(q evalBatchRequest) ([]byte, error) {
 		}
 	}
 	resp := evalBatchResponse{Machine: q.Machine, Precision: precName, Count: n, Results: results}
-	data, err := json.MarshalIndent(resp, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	return append(data, '\n'), nil
+	return encodeEvalBatchResponse(&resp)
 }
 
 // handleEvalBatch implements POST /v1/evalbatch: cache lookup by one
@@ -174,16 +168,26 @@ func evaluateBatch(q evalBatchRequest) ([]byte, error) {
 // thousands of points, so unlike /v1/eval concurrent identical batches
 // coalesce into one computation like campaigns do.
 func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
-	s.reg.Counter("requests_evalbatch_total").Inc()
+	s.mRequestsEvalbatch.Inc()
 	start := time.Now()
-	defer func() { s.reg.Latency("latency_evalbatch").Observe(time.Since(start)) }()
+	defer func() { s.mLatEvalbatch.Observe(time.Since(start)) }()
 	_, sp := s.tracer.StartRoot(r.Context(), "http.evalbatch")
 	defer sp.End()
 
 	var q evalBatchRequest
-	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &q); err != nil {
+	sc := batchScratchPool.Get().(*batchScratch)
+	// The request's float columns alias sc until the handler returns —
+	// the flight leader runs its evaluation synchronously inside do(),
+	// so nothing retains them past this defer.
+	defer batchScratchPool.Put(sc)
+	bp, err := readBody(r, s.cfg.MaxBodyBytes)
+	if err == nil {
+		err = decodeEvalBatchRequest(*bp, &q, sc)
+		releaseBody(bp)
+	}
+	if err != nil {
 		sp.Tag("error", "bad_body")
-		s.writeError(w, err)
+		s.writeError(w, badRequest("bad request body: %v", err))
 		return
 	}
 	if err := s.checkEvalBatch(&q); err != nil {
@@ -193,15 +197,15 @@ func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	key := hashEvalBatch(q)
 	if body, ok := s.cache.Get(key); ok {
-		s.reg.Counter("cache_hits_total").Inc()
+		s.mCacheHits.Inc()
 		sp.Tag("cache", "hit")
 		writeCached(w, key, "hit", body)
 		return
 	}
-	s.reg.Counter("cache_misses_total").Inc()
+	s.mCacheMisses.Inc()
 
 	body, leader, err := s.flights.do(r.Context(), key, func() ([]byte, error) {
-		s.reg.Counter("evalbatch_computes_total").Inc()
+		s.mEvalbatchComputes.Inc()
 		data, err := s.batchEval(q)
 		if err != nil {
 			return nil, err
@@ -217,7 +221,7 @@ func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 	source := "miss"
 	if !leader {
 		source = "coalesced"
-		s.reg.Counter("coalesced_total").Inc()
+		s.mCoalesced.Inc()
 	}
 	sp.Tag("cache", source)
 	writeCached(w, key, source, body)

@@ -1,0 +1,33 @@
+package server_test
+
+import (
+	"fmt"
+
+	"repro/internal/server"
+)
+
+// ExampleShardedCache shows the sharded result cache standing alone:
+// shard count rounds up to a power of two, global bounds divide across
+// shards, and the Get/Put/Snapshot surface is the flat ResultCache's.
+func ExampleShardedCache() {
+	// 6 shards round up to 8; the 64-entry / 1 MiB global bounds split
+	// into 8 entries / 128 KiB per shard. No TTL, wall-clock time.
+	cache := server.NewShardedCache(6, 64, 1<<20, 0, nil)
+	fmt.Println("shards:", cache.Shards())
+
+	// Keys are canonical request hashes (see EvalKey); the low bits
+	// pick the shard, so any uint64 from SplitMix64 spreads uniformly.
+	key := server.EvalKey("gtx580", "double", 1e9, 4)
+	if _, ok := cache.Get(key); !ok {
+		cache.Put(key, []byte(`{"time":3.01e-05}`+"\n"))
+	}
+	body, ok := cache.Get(key)
+	fmt.Printf("hit=%v body=%q\n", ok, body)
+
+	stats := cache.Snapshot()
+	fmt.Printf("entries=%d hits=%d misses=%d\n", cache.Len(), stats.Hits, stats.Misses)
+	// Output:
+	// shards: 8
+	// hit=true body="{\"time\":3.01e-05}\n"
+	// entries=1 hits=1 misses=1
+}

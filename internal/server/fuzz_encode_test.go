@@ -1,0 +1,72 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzResponseEncoding differentially fuzzes the hand-rolled response
+// encoders against encoding/json: for every generated response —
+// arbitrary strings in the string fields, arbitrary bit patterns in the
+// float fields (NaN payloads, ±0, denormals, infinities included) —
+// either both encoders error (non-finite floats) or both produce the
+// identical byte sequence. The seed corpus in
+// testdata/fuzz/FuzzResponseEncoding pins the historically interesting
+// regions: the 1e-6/1e21 format switches, negative zero, subnormals,
+// exponent-cleanup boundaries, HTML-escaped and invalid-UTF-8 strings.
+func FuzzResponseEncoding(f *testing.F) {
+	f.Add("gtx580", "double", "", "memory", "flop", 1e9, 4.0, 3.0107e-05, 122.4, true, int64(2))
+	f.Add("m<&>", "\"\\\n", "blackbox", "\x80\xff", "  ", -0.0, 1e-7, 9.999999999999999e-7, 1e21, false, int64(0))
+	f.Add("", "", "", "", "", math.SmallestNonzeroFloat64, -math.MaxFloat64, 2.2250738585072014e-308, 0.9999999999999999e21, true, int64(1))
+	f.Add("nan", "inf", "x", "y", "z", math.NaN(), math.Inf(1), math.Inf(-1), 1.0000000000000001e21, false, int64(3))
+	f.Fuzz(func(t *testing.T, machine, precision, model, timeBound, energyBound string,
+		a, b, c, d float64, flag bool, count int64) {
+		// Spread the fuzzed scalars over every float field so each one
+		// crosses the format-switch thresholds as the fuzzer mutates.
+		r := evalResponse{
+			Machine: machine, Precision: precision, Model: model,
+			TimeBound: timeBound, EnergyBound: energyBound, RaceToHalt: flag,
+			Work: a, Intensity: b, Time: c, Energy: d,
+			AvgPower: a * b, CappedTime: b + c, CappedEnergy: c - d, CappedPower: d * 2,
+			BalanceTime: -a, BalanceEnergy: -b, HalfEfficiency: a / 2, RooflineTime: b * 1e-7,
+			ArchlineEnergy: c * 1e21, PowerLine: math.Float64frombits(math.Float64bits(a) ^ math.Float64bits(d)),
+			EDP: a + 1, FlopsPerJoule: b - 1, FlopsPerSecond: c * 3, GreenIndex: d / 3, SpeedIndex: a - b,
+		}
+		checkEncodersAgree(t, r)
+
+		// The batch encoder wraps the same row; exercise its container
+		// formatting (count field, nested indent, empty vs nil arrays).
+		n := int(count % 3)
+		if n < 0 {
+			n = -n
+		}
+		rows := make([]evalResponse, n)
+		for i := range rows {
+			rows[i] = r
+		}
+		br := evalBatchResponse{Machine: machine, Precision: precision, Count: n, Results: rows}
+		wantB, wantErrB := stdlibBody(t, br)
+		gotB, gotErrB := encodeEvalBatchResponse(&br)
+		if (wantErrB != nil) != (gotErrB != nil) {
+			t.Fatalf("batch error mismatch: stdlib=%v encoder=%v", wantErrB, gotErrB)
+		}
+		if wantErrB == nil {
+			diffBytes(t, gotB, wantB)
+		}
+	})
+}
+
+// checkEncodersAgree asserts one evalResponse round: both encoders
+// error together or emit identical bytes.
+func checkEncodersAgree(t *testing.T, r evalResponse) {
+	t.Helper()
+	want, wantErr := stdlibBody(t, r)
+	got, gotErr := encodeEvalResponse(&r)
+	if (wantErr != nil) != (gotErr != nil) {
+		t.Fatalf("error mismatch: stdlib=%v encoder=%v", wantErr, gotErr)
+	}
+	if wantErr != nil {
+		return
+	}
+	diffBytes(t, got, want)
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,11 +15,19 @@ import (
 // never to bound staleness.
 //
 // The type is exported because it is shared infrastructure: the live
-// HTTP server uses one per process, and the cluster simulator
-// (internal/cluster) instantiates one per simulated replica — with an
-// injected virtual clock — so fleet-level cache behaviour is measured
-// on the production eviction/recency/TTL code path, not on a model of
-// it.
+// HTTP server shards its cache over many ResultCaches (see
+// ShardedCache), and the cluster simulator (internal/cluster)
+// instantiates one per simulated replica — with an injected virtual
+// clock — so fleet-level cache behaviour is measured on the production
+// eviction/recency/TTL code path, not on a model of it.
+//
+// Concurrency: all operations are safe for concurrent use. Lifetime
+// counters are atomics, and a Get for the most-recently-used key — the
+// dominant pattern when one hot request is hammered — is resolved
+// lock-free: entries are immutable once published, so the front-of-list
+// hint can be validated and its body returned without touching the
+// mutex (the entry is already most recently used, making the recency
+// bump a no-op). Every other operation takes the per-cache mutex.
 type ResultCache struct {
 	mu         sync.Mutex
 	maxEntries int
@@ -28,7 +37,17 @@ type ResultCache struct {
 	ll         *list.List // front = most recently used
 	index      map[uint64]*list.Element
 	bytes      int64
-	stats      CacheStats
+
+	// front mirrors the list front under mu; the lock-free Get fast
+	// path validates it by key and expiry. Entries are immutable, so a
+	// momentarily stale hint can only serve a body that was live when
+	// the hint was read — and bodies are pure functions of their key.
+	front atomic.Pointer[cacheEntry]
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	expirations atomic.Uint64
 }
 
 // CacheStats are a cache's lifetime counters.
@@ -43,7 +62,18 @@ type CacheStats struct {
 	Expirations uint64
 }
 
-// cacheEntry is one cached response body.
+// add accumulates other into s (the ShardedCache aggregation).
+func (s *CacheStats) add(other CacheStats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Expirations += other.Expirations
+}
+
+// cacheEntry is one cached response body. Entries are immutable after
+// publication — a Put that refreshes an existing key installs a fresh
+// entry rather than mutating the old one — so the lock-free Get fast
+// path may read any entry it can reach without synchronisation.
 type cacheEntry struct {
 	key     uint64
 	body    []byte
@@ -68,25 +98,41 @@ func NewResultCache(maxEntries int, maxBytes int64, ttl time.Duration, now func(
 	}
 }
 
+// live reports whether e has not expired at the injected clock's now.
+func (c *ResultCache) live(e *cacheEntry) bool {
+	return e.expires.IsZero() || !c.now().After(e.expires)
+}
+
 // Get returns the cached body for key and marks it most recently used.
 // Expired entries are removed and reported as misses.
 func (c *ResultCache) Get(key uint64) ([]byte, bool) {
+	// Fast path: the key is already most recently used, so the recency
+	// bump is a no-op and nothing needs the lock. Expired or stale
+	// hints fall through to the locked path, which settles them.
+	if e := c.front.Load(); e != nil && e.key == key && c.live(e) {
+		c.hits.Add(1)
+		return e.body, true
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.index[key]
 	if !ok {
-		c.stats.Misses++
+		c.mu.Unlock()
+		c.misses.Add(1)
 		return nil, false
 	}
 	e := el.Value.(*cacheEntry)
-	if !e.expires.IsZero() && c.now().After(e.expires) {
+	if !c.live(e) {
 		c.removeLocked(el)
-		c.stats.Expirations++
-		c.stats.Misses++
+		c.syncFrontLocked()
+		c.mu.Unlock()
+		c.expirations.Add(1)
+		c.misses.Add(1)
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	c.stats.Hits++
+	c.syncFrontLocked()
+	c.mu.Unlock()
+	c.hits.Add(1)
 	return e.body, true
 }
 
@@ -100,8 +146,7 @@ func (c *ResultCache) Peek(key uint64) bool {
 	if !ok {
 		return false
 	}
-	e := el.Value.(*cacheEntry)
-	return e.expires.IsZero() || !c.now().After(e.expires)
+	return c.live(el.Value.(*cacheEntry))
 }
 
 // Put stores body under key, evicting least-recently-used entries until
@@ -111,27 +156,34 @@ func (c *ResultCache) Put(key uint64, body []byte) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.index[key]; ok {
 		// Deterministic engine: same key means same body. Refresh
-		// recency and expiry rather than storing a duplicate.
-		e := el.Value.(*cacheEntry)
-		c.bytes += int64(len(body)) - int64(len(e.body))
-		e.body = body
-		e.expires = c.expiry()
+		// recency and expiry rather than storing a duplicate — with a
+		// fresh immutable entry, never by mutating the published one.
+		old := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(old.body))
+		el.Value = &cacheEntry{key: key, body: body, expires: c.expiry()}
 		c.ll.MoveToFront(el)
+		c.syncFrontLocked()
+		c.mu.Unlock()
 		return
 	}
 	e := &cacheEntry{key: key, body: body, expires: c.expiry()}
 	c.index[key] = c.ll.PushFront(e)
 	c.bytes += int64(len(body))
+	var evicted uint64
 	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
 		oldest := c.ll.Back()
 		if oldest == nil {
 			break
 		}
 		c.removeLocked(oldest)
-		c.stats.Evictions++
+		evicted++
+	}
+	c.syncFrontLocked()
+	c.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
 	}
 }
 
@@ -151,6 +203,16 @@ func (c *ResultCache) removeLocked(el *list.Element) {
 	c.bytes -= int64(len(e.body))
 }
 
+// syncFrontLocked republishes the front-of-list hint after a mutation.
+// Callers hold c.mu.
+func (c *ResultCache) syncFrontLocked() {
+	if el := c.ll.Front(); el != nil {
+		c.front.Store(el.Value.(*cacheEntry))
+	} else {
+		c.front.Store(nil)
+	}
+}
+
 // Len returns the number of live entries.
 func (c *ResultCache) Len() int {
 	c.mu.Lock()
@@ -167,7 +229,10 @@ func (c *ResultCache) SizeBytes() int64 {
 
 // Snapshot returns the lifetime counters.
 func (c *ResultCache) Snapshot() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		Expirations: c.expirations.Load(),
+	}
 }

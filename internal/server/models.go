@@ -35,5 +35,11 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			Description: model.Describe(name),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"models": out})
+	body, err := encodeModels(out)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }

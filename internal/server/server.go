@@ -78,6 +78,12 @@ type Config struct {
 	CacheEntries int
 	// CacheBytes bounds the result cache by total body bytes.
 	CacheBytes int64
+	// CacheShards spreads the result cache over this many independently
+	// locked shards (rounded up to a power of two), selected by the low
+	// bits of the canonical request hash. More shards mean less lock
+	// contention on the hit path; the global entry/byte bounds divide
+	// across shards. <= 0 keeps the default.
+	CacheShards int
 	// CacheTTL bounds how long a cached body stays resident. The cache
 	// is never stale — the engine is deterministic — so the TTL only
 	// bounds memory residency. <= 0 keeps the default.
@@ -113,6 +119,7 @@ func DefaultConfig() Config {
 		Workers:        0, // one per CPU
 		CacheEntries:   256,
 		CacheBytes:     64 << 20,
+		CacheShards:    16,
 		CacheTTL:       15 * time.Minute,
 		RequestTimeout: 2 * time.Minute,
 		MaxPoints:      4096,
@@ -131,7 +138,7 @@ type engineFunc func(ctx context.Context, cfg campaign.Config, workers int) (*ca
 type Server struct {
 	cfg     Config
 	budget  *parallel.Budget
-	cache   *ResultCache
+	cache   *ShardedCache
 	flights *flightGroup
 	reg     *metrics.Registry
 	engine  engineFunc
@@ -139,7 +146,23 @@ type Server struct {
 	// counting stub to assert coalescing, like engine for campaigns.
 	batchEval func(q evalBatchRequest) ([]byte, error)
 	mux       *http.ServeMux
-	tracer  *trace.Tracer // nil unless cfg.Debug
+	tracer    *trace.Tracer // nil unless cfg.Debug
+
+	// Hot-path metric handles, hoisted out of the registry once at
+	// construction so per-request bookkeeping is a direct atomic
+	// increment — no name lookup of any kind on the request path.
+	mRequestsEval      *metrics.Counter
+	mRequestsEvalbatch *metrics.Counter
+	mRequestsCampaign  *metrics.Counter
+	mCacheHits         *metrics.Counter
+	mCacheMisses       *metrics.Counter
+	mEvalComputes      *metrics.Counter
+	mEvalbatchComputes *metrics.Counter
+	mEngineRuns        *metrics.Counter
+	mCoalesced         *metrics.Counter
+	mLatEval           *metrics.Latency
+	mLatEvalbatch      *metrics.Latency
+	mLatCampaign       *metrics.Latency
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -156,6 +179,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CacheTTL == 0 {
 		cfg.CacheTTL = def.CacheTTL
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = def.CacheShards
 	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = def.RequestTimeout
@@ -176,7 +202,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		budget:  parallel.NewBudget(cfg.Workers),
-		cache:   NewResultCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheTTL, nil),
+		cache:   NewShardedCache(cfg.CacheShards, cfg.CacheEntries, cfg.CacheBytes, cfg.CacheTTL, nil),
 		flights: newFlightGroup(),
 		reg:     metrics.NewRegistry(),
 		engine:  campaign.RunParallel,
@@ -184,6 +210,18 @@ func New(cfg Config) *Server {
 		cancel:  cancel,
 	}
 	s.batchEval = evaluateBatch
+	s.mRequestsEval = s.reg.Counter("requests_eval_total")
+	s.mRequestsEvalbatch = s.reg.Counter("requests_evalbatch_total")
+	s.mRequestsCampaign = s.reg.Counter("requests_campaign_total")
+	s.mCacheHits = s.reg.Counter("cache_hits_total")
+	s.mCacheMisses = s.reg.Counter("cache_misses_total")
+	s.mEvalComputes = s.reg.Counter("eval_computes_total")
+	s.mEvalbatchComputes = s.reg.Counter("evalbatch_computes_total")
+	s.mEngineRuns = s.reg.Counter("engine_runs_total")
+	s.mCoalesced = s.reg.Counter("coalesced_total")
+	s.mLatEval = s.reg.Latency("latency_eval")
+	s.mLatEvalbatch = s.reg.Latency("latency_evalbatch")
+	s.mLatCampaign = s.reg.Latency("latency_campaign")
 	if cfg.Debug {
 		s.tracer = trace.New(trace.Config{
 			Capacity: cfg.TraceCapacity,
@@ -270,9 +308,11 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 // writeCached serves a response body produced by the cache/coalescing
 // layer, labelling its provenance in X-Cache (hit, miss, or coalesced).
 func writeCached(w http.ResponseWriter, key uint64, source string, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", source)
-	w.Header().Set("X-Request-Hash", fmt.Sprintf("%016x", key))
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Cache", source)
+	var hexBuf [16]byte
+	h.Set("X-Request-Hash", string(appendHash(hexBuf[:0], key)))
 	w.Write(body)
 }
 
@@ -321,7 +361,13 @@ func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 			RaceToHalt:      p.RaceToHaltEffective(),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"machines": out})
+	body, err := encodeMachines(out)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
 
 // evalRequest is the POST /v1/eval body: one (machine, precision,
@@ -380,7 +426,7 @@ func parsePrecision(s string) (machine.Precision, error) {
 
 // checkEval validates an eval request, filling defaults in place.
 func checkEval(q *evalRequest) error {
-	if _, ok := machine.Catalog()[q.Machine]; !ok {
+	if _, ok := catalog()[q.Machine]; !ok {
 		return badRequest("unknown machine %q", q.Machine)
 	}
 	if _, err := parsePrecision(q.Precision); err != nil {
@@ -416,7 +462,7 @@ func evaluate(q evalRequest) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := machine.Catalog()[q.Machine]
+	m := catalog()[q.Machine]
 	p := core.FromMachine(m, prec)
 	em, err := model.For(q.Model, q.Machine, prec)
 	if err != nil {
@@ -454,27 +500,30 @@ func evaluate(q evalRequest) ([]byte, error) {
 		GreenIndex:     score.GreenIndex,
 		SpeedIndex:     score.SpeedIndex,
 	}
-	data, err := json.MarshalIndent(resp, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	return append(data, '\n'), nil
+	return encodeEvalResponse(&resp)
 }
 
 // handleEval implements POST /v1/eval. Eval queries are cheap (pure
 // closed-form model evaluation), so they are cached by canonical hash
-// but not coalesced.
+// but not coalesced. The warm path — pooled body read, hand-rolled
+// decode, canonical hash, lock-free cache hit — runs without taking
+// any lock and with near-zero allocations.
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
-	s.reg.Counter("requests_eval_total").Inc()
+	s.mRequestsEval.Inc()
 	start := time.Now()
-	defer func() { s.reg.Latency("latency_eval").Observe(time.Since(start)) }()
+	defer func() { s.mLatEval.Observe(time.Since(start)) }()
 	_, sp := s.tracer.StartRoot(r.Context(), "http.eval")
 	defer sp.End()
 
 	var q evalRequest
-	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &q); err != nil {
+	bp, err := readBody(r, s.cfg.MaxBodyBytes)
+	if err == nil {
+		err = decodeEvalRequest(*bp, &q)
+		releaseBody(bp)
+	}
+	if err != nil {
 		sp.Tag("error", "bad_body")
-		s.writeError(w, err)
+		s.writeError(w, badRequest("bad request body: %v", err))
 		return
 	}
 	if err := checkEval(&q); err != nil {
@@ -484,19 +533,19 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	key := hashEval(q)
 	if body, ok := s.cache.Get(key); ok {
-		s.reg.Counter("cache_hits_total").Inc()
+		s.mCacheHits.Inc()
 		sp.Tag("cache", "hit")
 		writeCached(w, key, "hit", body)
 		return
 	}
-	s.reg.Counter("cache_misses_total").Inc()
+	s.mCacheMisses.Inc()
 	body, err := evaluate(q)
 	if err != nil {
 		sp.Tag("error", "eval")
 		s.writeError(w, err)
 		return
 	}
-	s.reg.Counter("eval_computes_total").Inc()
+	s.mEvalComputes.Inc()
 	s.cache.Put(key, body)
 	sp.Tag("cache", "miss")
 	writeCached(w, key, "miss", body)
@@ -524,9 +573,9 @@ func (s *Server) checkCampaign(cfg campaign.Config) error {
 // byte-identical whether it came from the engine, the cache, or a
 // coalesced flight.
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
-	s.reg.Counter("requests_campaign_total").Inc()
+	s.mRequestsCampaign.Inc()
 	start := time.Now()
-	defer func() { s.reg.Latency("latency_campaign").Observe(time.Since(start)) }()
+	defer func() { s.mLatCampaign.Observe(time.Since(start)) }()
 	_, sp := s.tracer.StartRoot(r.Context(), "http.campaign")
 	defer sp.End()
 
@@ -543,12 +592,12 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	key := hashCampaign(cfg)
 	if body, ok := s.cache.Get(key); ok {
-		s.reg.Counter("cache_hits_total").Inc()
+		s.mCacheHits.Inc()
 		sp.Tag("cache", "hit")
 		writeCached(w, key, "hit", body)
 		return
 	}
-	s.reg.Counter("cache_misses_total").Inc()
+	s.mCacheMisses.Inc()
 
 	// The flight leader runs the engine under the server's base context
 	// (plus the request timeout), not the leader's request context: the
@@ -567,7 +616,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		defer release()
-		s.reg.Counter("engine_runs_total").Inc()
+		s.mEngineRuns.Inc()
 		sp.Tag("engine_run", true).Tag("workers", granted)
 		res, err := s.engine(ctx, cfg, granted)
 		if err != nil {
@@ -589,7 +638,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	source := "miss"
 	if !leader {
 		source = "coalesced"
-		s.reg.Counter("coalesced_total").Inc()
+		s.mCoalesced.Inc()
 	}
 	sp.Tag("cache", source)
 	writeCached(w, key, source, body)

@@ -1,0 +1,108 @@
+package server
+
+import "time"
+
+// ShardedCache spreads a ResultCache over a power-of-two number of
+// independently locked shards, selected by the low bits of the
+// canonical request hash. SplitMix64 is a full-avalanche finalizer, so
+// the low bits are uniformly distributed and shard occupancy is
+// balanced without rehashing.
+//
+// Semantics relative to one big ResultCache:
+//
+//   - Lookup, storage, TTL, and stats are byte-exact per shard — each
+//     shard IS a ResultCache, so a single-shard ShardedCache behaves
+//     identically to the flat cache (the differential tests pin this).
+//   - The global bounds divide across shards (per-shard bound =
+//     global/shards, clamped to at least one entry), so the aggregate
+//     entry and byte accounting stays within the configured bounds.
+//     Eviction order is approximate-global-LRU: each shard evicts its
+//     own least-recently-used entry, which is the standard sharded-LRU
+//     trade — exactness of *which* cold entry dies is traded for
+//     lock-free scaling of the hit path across cores.
+//
+// Len, SizeBytes, and Snapshot sum across shards. All methods are safe
+// for concurrent use.
+type ShardedCache struct {
+	shards []*ResultCache
+	mask   uint64
+}
+
+// NewShardedCache builds a cache of `shards` ResultCache shards
+// (rounded up to a power of two, minimum 1) that together hold at most
+// maxEntries bodies and maxBytes body bytes. ttl and now behave as in
+// NewResultCache. Global bounds are divided evenly across shards; each
+// shard keeps at least one entry of capacity, so tiny bounds with many
+// shards degrade to per-shard bounds of one rather than zero.
+func NewShardedCache(shards, maxEntries int, maxBytes int64, ttl time.Duration, now func() time.Time) *ShardedCache {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perEntries := maxEntries / n
+	if perEntries < 1 {
+		perEntries = 1
+	}
+	perBytes := maxBytes / int64(n)
+	if perBytes < 1 {
+		perBytes = 1
+	}
+	sc := &ShardedCache{shards: make([]*ResultCache, n), mask: uint64(n - 1)}
+	for i := range sc.shards {
+		sc.shards[i] = NewResultCache(perEntries, perBytes, ttl, now)
+	}
+	return sc
+}
+
+// shard returns the ResultCache responsible for key.
+func (sc *ShardedCache) shard(key uint64) *ResultCache {
+	return sc.shards[key&sc.mask]
+}
+
+// Get returns the cached body for key and marks it most recently used
+// within its shard.
+func (sc *ShardedCache) Get(key uint64) ([]byte, bool) {
+	return sc.shard(key).Get(key)
+}
+
+// Peek reports whether key holds a live entry without touching recency
+// or the hit/miss counters.
+func (sc *ShardedCache) Peek(key uint64) bool {
+	return sc.shard(key).Peek(key)
+}
+
+// Put stores body under key in its shard, evicting that shard's
+// least-recently-used entries until the per-shard bounds hold.
+func (sc *ShardedCache) Put(key uint64, body []byte) {
+	sc.shard(key).Put(key, body)
+}
+
+// Shards returns the number of shards (always a power of two).
+func (sc *ShardedCache) Shards() int { return len(sc.shards) }
+
+// Len returns the number of live entries summed across shards.
+func (sc *ShardedCache) Len() int {
+	n := 0
+	for _, s := range sc.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// SizeBytes returns the total cached body bytes summed across shards.
+func (sc *ShardedCache) SizeBytes() int64 {
+	var n int64
+	for _, s := range sc.shards {
+		n += s.SizeBytes()
+	}
+	return n
+}
+
+// Snapshot returns the lifetime counters summed across shards.
+func (sc *ShardedCache) Snapshot() CacheStats {
+	var cs CacheStats
+	for _, s := range sc.shards {
+		cs.add(s.Snapshot())
+	}
+	return cs
+}
